@@ -1,0 +1,86 @@
+//! Scaled-down per-figure harness runs: each bench exercises exactly the
+//! code path that regenerates one paper figure, so `cargo bench` both
+//! times them and continuously verifies they run. Full-scale regeneration
+//! uses the `lacc-experiments` binaries (see EXPERIMENTS.md).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lacc_bench::run_small;
+use lacc_experiments::{fig12_variants, fig13_variants, geomean};
+use lacc_model::SystemConfig;
+use lacc_sim::Simulator;
+use lacc_workloads::Benchmark;
+
+const B: Benchmark = Benchmark::Streamcluster;
+const CORES: usize = 8;
+const SCALE: f64 = 0.03;
+
+fn fig01_02(c: &mut Criterion) {
+    c.bench_function("fig01_02_utilization_histograms", |b| {
+        b.iter(|| {
+            let r = run_small(B, CORES, 1, SCALE);
+            black_box((r.inval_histogram.fractions(), r.evict_histogram.fractions()))
+        });
+    });
+}
+
+fn fig08_09_10_11(c: &mut Criterion) {
+    c.bench_function("fig08_to_11_pct_point", |b| {
+        // One (benchmark, PCT) grid point: the unit of work all four
+        // PCT-sweep figures share.
+        b.iter(|| {
+            let r = run_small(B, CORES, 4, SCALE);
+            black_box((r.energy.total(), r.completion_time, r.l1d.miss_rate()))
+        });
+    });
+    c.bench_function("fig11_geomean_mini_sweep", |b| {
+        b.iter(|| {
+            let mut times = vec![];
+            for pct in [1, 4] {
+                times.push(run_small(B, CORES, pct, SCALE).completion_time as f64);
+            }
+            black_box(geomean(&[times[1] / times[0]]))
+        });
+    });
+}
+
+fn fig12(c: &mut Criterion) {
+    c.bench_function("fig12_rat_variant_point", |b| {
+        let (_, ccfg) = fig12_variants()[3]; // L-2,T-16 (the default)
+        b.iter(|| {
+            let cfg = SystemConfig::small_for_tests(CORES).with_classifier(ccfg);
+            let r = Simulator::new(cfg, B.build(CORES, SCALE)).unwrap().run();
+            black_box(r.energy.total())
+        });
+    });
+}
+
+fn fig13(c: &mut Criterion) {
+    c.bench_function("fig13_limitedk_point", |b| {
+        let variants = fig13_variants(CORES);
+        let (_, ccfg) = variants[1]; // Limited-3
+        b.iter(|| {
+            let cfg = SystemConfig::small_for_tests(CORES).with_classifier(ccfg);
+            let r = Simulator::new(cfg, B.build(CORES, SCALE)).unwrap().run();
+            black_box(r.completion_time)
+        });
+    });
+}
+
+fn fig14(c: &mut Criterion) {
+    c.bench_function("fig14_oneway_ratio", |b| {
+        b.iter(|| {
+            let two = run_small(B, CORES, 4, SCALE);
+            let mut cfg = SystemConfig::small_for_tests(CORES);
+            cfg.classifier.one_way = true;
+            let one = Simulator::new(cfg, B.build(CORES, SCALE)).unwrap().run();
+            black_box(one.completion_time as f64 / two.completion_time as f64)
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig01_02, fig08_09_10_11, fig12, fig13, fig14
+);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Micro-benchmarks of the substrate crates: the structures every
+//! simulated memory access touches.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lacc_cache::SetAssocCache;
+use lacc_core::classifier::{LocalityClassifier, RemovalReason, RequestHints};
+use lacc_core::sharer::SharerTracker;
+use lacc_core::DirectoryKind;
+use lacc_model::config::ClassifierConfig;
+use lacc_model::{CoreId, LineAddr};
+use lacc_network::MeshNetwork;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("set_assoc_cache");
+    g.bench_function("hit_get_mut", |b| {
+        let mut cache: SetAssocCache<u64> = SetAssocCache::new(128, 4);
+        for l in 0..512u64 {
+            cache.insert(LineAddr::new(l), l);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 512;
+            black_box(cache.get_mut(LineAddr::new(i)));
+        });
+    });
+    g.bench_function("miss_insert_evict", |b| {
+        let mut cache: SetAssocCache<u64> = SetAssocCache::new(128, 4);
+        let mut l = 0u64;
+        b.iter(|| {
+            l += 1;
+            black_box(cache.insert(LineAddr::new(l), l));
+        });
+    });
+    g.finish();
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mesh");
+    g.bench_function("unicast_64tiles", |b| {
+        let mut net = MeshNetwork::new(64, 1, 1);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(net.unicast(CoreId::new(0), CoreId::new(63), 9, t));
+        });
+    });
+    g.bench_function("broadcast_64tiles", |b| {
+        let mut net = MeshNetwork::new(64, 1, 1);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10;
+            black_box(net.broadcast(CoreId::new(27), 1, t));
+        });
+    });
+    g.finish();
+}
+
+fn bench_sharers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharer_tracker");
+    for (label, kind) in
+        [("full_map", DirectoryKind::FullMap), ("ackwise4", DirectoryKind::ackwise4())]
+    {
+        g.bench_function(format!("{label}_add_remove_8"), |b| {
+            b.iter(|| {
+                let mut t = SharerTracker::new(kind, 64);
+                for i in 0..8 {
+                    t.add(CoreId::new(i));
+                }
+                black_box(t.invalidation_plan(None));
+                for i in 0..8 {
+                    t.remove(CoreId::new(i));
+                }
+                black_box(t.count())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("classifier");
+    let hints = RequestHints { set_min_last_access: 10, set_has_invalid: false };
+    for (label, cfg) in [
+        ("limited3", ClassifierConfig::isca13_default()),
+        (
+            "complete",
+            ClassifierConfig {
+                tracking: lacc_model::config::TrackingKind::Complete,
+                ..ClassifierConfig::isca13_default()
+            },
+        ),
+    ] {
+        g.bench_function(format!("{label}_request_cycle"), |b| {
+            let mut cl = LocalityClassifier::new(&cfg, 64);
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % 64;
+                let core = CoreId::new(i);
+                black_box(cl.classify_request(core, hints, 5));
+                if i % 9 == 0 {
+                    cl.on_sharer_removed(core, 1, RemovalReason::Eviction);
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache, bench_network, bench_sharers, bench_classifier
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Cache-line data storage.
+//!
+//! The simulator is *functional* (like Graphite, §4.1): stores write real
+//! values and loads return them, which lets the test suite verify that every
+//! coherence protocol variant actually keeps memory coherent. A [`LineData`]
+//! holds the eight 64-bit words of one 64-byte cache line.
+
+use std::fmt;
+
+use lacc_model::addr::WORDS_PER_LINE;
+
+/// The eight 64-bit words of one cache line.
+///
+/// # Examples
+///
+/// ```
+/// use lacc_cache::LineData;
+/// let mut d = LineData::zeroed();
+/// d.set_word(3, 0xdead_beef);
+/// assert_eq!(d.word(3), 0xdead_beef);
+/// assert_eq!(d.word(0), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LineData([u64; WORDS_PER_LINE as usize]);
+
+impl LineData {
+    /// A line of all-zero words (the content of untouched memory).
+    #[must_use]
+    pub fn zeroed() -> Self {
+        Self::default()
+    }
+
+    /// Builds a line from eight words.
+    #[must_use]
+    pub fn from_words(words: [u64; WORDS_PER_LINE as usize]) -> Self {
+        LineData(words)
+    }
+
+    /// Reads the `i`-th 64-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    #[must_use]
+    pub fn word(&self, i: usize) -> u64 {
+        self.0[i]
+    }
+
+    /// Writes the `i`-th 64-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    pub fn set_word(&mut self, i: usize, value: u64) {
+        self.0[i] = value;
+    }
+
+    /// All eight words.
+    #[must_use]
+    pub fn words(&self) -> &[u64; WORDS_PER_LINE as usize] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for LineData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineData[{:#x}", self.0[0])?;
+        for w in &self.0[1..] {
+            write!(f, ", {w:#x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_line_is_all_zero() {
+        let d = LineData::zeroed();
+        assert!(d.words().iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let mut d = LineData::zeroed();
+        for i in 0..8 {
+            d.set_word(i, (i as u64) * 7 + 1);
+        }
+        for i in 0..8 {
+            assert_eq!(d.word(i), (i as u64) * 7 + 1);
+        }
+    }
+
+    #[test]
+    fn from_words_preserves_content() {
+        let w = [1, 2, 3, 4, 5, 6, 7, 8];
+        assert_eq!(LineData::from_words(w).words(), &w);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_word_panics() {
+        let d = LineData::zeroed();
+        let _ = d.word(8);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(format!("{:?}", LineData::zeroed()).starts_with("LineData["));
+    }
+}

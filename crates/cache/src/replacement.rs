@@ -1,0 +1,62 @@
+//! Replacement policies for [`crate::SetAssocCache`].
+//!
+//! The evaluated machine uses LRU in both cache levels (the Timestamp check
+//! of §3.2 explicitly reasons about "the LRU replacement policy of the L1
+//! cache"). Round-robin is provided as a cheap alternative for sensitivity
+//! studies and as a differential-testing foil in the unit tests.
+
+/// Which victim a set picks when all ways are valid.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ReplacementKind {
+    /// Evict the least-recently-used way (per-way monotonic use stamps).
+    #[default]
+    Lru,
+    /// Evict ways in strict rotation, ignoring recency.
+    RoundRobin,
+}
+
+impl ReplacementKind {
+    /// Picks a victim way index.
+    ///
+    /// `stamps` holds each way's last-use stamp; `cursor` is the set's
+    /// round-robin cursor, advanced by the caller after an eviction.
+    #[must_use]
+    pub(crate) fn pick_victim(self, stamps: &[u64], cursor: usize) -> usize {
+        match self {
+            ReplacementKind::Lru => {
+                let mut best = 0usize;
+                for (i, &s) in stamps.iter().enumerate() {
+                    if s < stamps[best] {
+                        best = i;
+                    }
+                }
+                best
+            }
+            ReplacementKind::RoundRobin => cursor % stamps.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_picks_smallest_stamp() {
+        assert_eq!(ReplacementKind::Lru.pick_victim(&[5, 2, 9, 7], 0), 1);
+        assert_eq!(ReplacementKind::Lru.pick_victim(&[1, 1, 1], 2), 0, "ties break to lowest way");
+    }
+
+    #[test]
+    fn round_robin_follows_cursor() {
+        let k = ReplacementKind::RoundRobin;
+        assert_eq!(k.pick_victim(&[5, 2, 9, 7], 0), 0);
+        assert_eq!(k.pick_victim(&[5, 2, 9, 7], 3), 3);
+        assert_eq!(k.pick_victim(&[5, 2, 9, 7], 4), 0, "cursor wraps");
+    }
+
+    #[test]
+    fn default_is_lru() {
+        assert_eq!(ReplacementKind::default(), ReplacementKind::Lru);
+    }
+}

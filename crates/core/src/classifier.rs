@@ -1,0 +1,908 @@
+//! The locality classifier: private/remote modes, utilization counters,
+//! Timestamp check, RAT levels, Limited_k tracking and the one-way variant.
+//!
+//! One [`LocalityClassifier`] lives in each directory entry and answers the
+//! question at the center of the paper: *when core C misses on this line,
+//! should it receive a private copy, or be served a single word at the
+//! shared L2?* (§3.2, Figure 4.)
+//!
+//! State machine per (line, core), from Figure 4:
+//!
+//! ```text
+//!            utilization < PCT  (on eviction/invalidation)
+//!   Private ────────────────────────────────────────────▶ Remote
+//!      ▲                                                    │
+//!      └────────────────────────────────────────────────────┘
+//!            remote utilization >= threshold (PCT or RAT)
+//! ```
+//!
+//! Cores start **Private** ("our protocol starts out as a conventional
+//! directory protocol and initializes all cores as private sharers of all
+//! cache lines"). Demotion happens when a private copy is removed with
+//! `private + remote` utilization below `PCT`; promotion happens when
+//! remote utilization reaches the promotion threshold, which is `PCT` under
+//! the ideal Timestamp mechanism (§3.2) and the current RAT level under the
+//! cost-efficient approximation (§3.3).
+
+use lacc_model::config::{ClassifierConfig, MechanismKind, TrackingKind};
+use lacc_model::{CoreId, Cycle};
+
+/// Whether a core is a private or remote sharer of a line (Figure 4).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SharerMode {
+    /// The core receives whole-line copies in its private L1.
+    Private,
+    /// The core's misses are served as word accesses at the shared L2.
+    Remote,
+}
+
+/// Why a private copy was removed from an L1, which the classifier needs
+/// because §3.3 treats the two differently: an invalidation leaves an
+/// invalid line (low set pressure, RAT unchanged) while an eviction
+/// signals set pressure (RAT raised).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RemovalReason {
+    /// Conflict/capacity eviction from the L1 (high set pressure).
+    Eviction,
+    /// Invalidation due to another core's exclusive request.
+    Invalidation,
+    /// Back-invalidation because the inclusive L2 evicted the line. The L1
+    /// set gains an invalid way, like an invalidation, so the RAT is left
+    /// unchanged.
+    BackInvalidation,
+}
+
+/// Per-miss information from the requesting L1, carried in the request
+/// message (§3.2–§3.3): the minimum last-access time over the target set
+/// (for the Timestamp check) and whether the set has an invalid way (the
+/// RAT shortcut — promotion cannot pollute the cache if a way is free).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RequestHints {
+    /// Minimum last-access time across valid lines of the requester's L1
+    /// set; `0` when the set has an invalid line (check trivially passes).
+    pub set_min_last_access: Cycle,
+    /// `true` when the requester's L1 set contains an invalid way.
+    pub set_has_invalid: bool,
+}
+
+/// Result of classifying one request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ClassifyOutcome {
+    /// Serve as private (grant line) or remote (serve word).
+    pub mode: SharerMode,
+    /// `true` when this very request crossed the promotion threshold.
+    pub promoted: bool,
+    /// `false` when the core is untracked by a full Limited_k list and was
+    /// classified by majority vote only.
+    pub tracked: bool,
+}
+
+const FLAG_PRIVATE: u8 = 1;
+const FLAG_ACTIVE: u8 = 2;
+const FLAG_STICKY_REMOTE: u8 = 4;
+const FLAG_TOUCHED: u8 = 8;
+
+/// Locality record for one core: mode bit, remote utilization counter and
+/// RAT level (Figures 6 and 7), plus the active bit §3.4 uses to pick
+/// replacement victims and the sticky bit of the one-way protocol (§3.7).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct CoreInfo {
+    core: u16,
+    flags: u8,
+    remote_util: u8,
+    rat_level: u8,
+}
+
+impl CoreInfo {
+    fn fresh(core: CoreId, mode: SharerMode) -> Self {
+        CoreInfo {
+            core: core.index() as u16,
+            flags: if mode == SharerMode::Private { FLAG_PRIVATE } else { 0 },
+            remote_util: 0,
+            rat_level: 0,
+        }
+    }
+
+    fn fresh_one_way(core: CoreId, mode: SharerMode, one_way: bool) -> Self {
+        let mut info = Self::fresh(core, mode);
+        // Under Adapt1-way (§3.7) remote is absorbing: a core that *enters*
+        // remote mode — whether by its own demotion or by majority-vote
+        // initialization — can never be promoted.
+        if one_way && mode == SharerMode::Remote {
+            info.flags |= FLAG_STICKY_REMOTE;
+        }
+        info
+    }
+
+    fn mode(&self) -> SharerMode {
+        if self.flags & FLAG_PRIVATE != 0 {
+            SharerMode::Private
+        } else {
+            SharerMode::Remote
+        }
+    }
+
+    fn set_mode(&mut self, mode: SharerMode) {
+        match mode {
+            SharerMode::Private => self.flags |= FLAG_PRIVATE,
+            SharerMode::Remote => self.flags &= !FLAG_PRIVATE,
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.flags & FLAG_ACTIVE != 0
+    }
+
+    fn set_active(&mut self, a: bool) {
+        if a {
+            self.flags |= FLAG_ACTIVE;
+        } else {
+            self.flags &= !FLAG_ACTIVE;
+        }
+    }
+
+    fn sticky_remote(&self) -> bool {
+        self.flags & FLAG_STICKY_REMOTE != 0
+    }
+
+    fn touched(&self) -> bool {
+        self.flags & FLAG_TOUCHED != 0
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Storage {
+    /// Locality info for every core, indexed by core id (§3.2, Figure 6).
+    Complete(Vec<CoreInfo>),
+    /// Locality info for at most `k` cores (§3.4, Figure 7).
+    Limited(Vec<CoreInfo>),
+}
+
+/// Upper bound on `nRATlevels` (the paper evaluates up to 8, Figure 12).
+pub const MAX_RAT_LEVELS: usize = 8;
+
+/// The per-directory-entry locality classifier.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LocalityClassifier {
+    pct: u32,
+    one_way: bool,
+    shortcut: bool,
+    timestamp_mech: bool,
+    /// Promotion thresholds indexed by RAT level (single entry = PCT for
+    /// the Timestamp mechanism and for nRATlevels = 1).
+    ladder: [u32; MAX_RAT_LEVELS],
+    ladder_len: usize,
+    util_cap: u8,
+    limit: Option<usize>,
+    storage: Storage,
+}
+
+impl LocalityClassifier {
+    /// Creates the classifier for one directory entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (zero PCT, `k` of zero).
+    #[must_use]
+    pub fn new(cfg: &ClassifierConfig, num_cores: usize) -> Self {
+        assert!(cfg.pct >= 1, "pct must be at least 1");
+        let ladder_vec = cfg.mechanism.rat_ladder(cfg.pct);
+        assert!(ladder_vec.len() <= MAX_RAT_LEVELS, "nRATlevels beyond {MAX_RAT_LEVELS}");
+        let mut ladder = [0u32; MAX_RAT_LEVELS];
+        ladder[..ladder_vec.len()].copy_from_slice(&ladder_vec);
+        let ladder_len = ladder_vec.len();
+        let util_cap = (*ladder_vec.last().unwrap()).max(cfg.pct).min(255) as u8;
+        let (limit, storage) = match cfg.tracking {
+            TrackingKind::Complete => (
+                None,
+                Storage::Complete(
+                    (0..num_cores)
+                        .map(|i| CoreInfo::fresh(CoreId::new(i), SharerMode::Private))
+                        .collect(),
+                ),
+            ),
+            TrackingKind::Limited { k } => {
+                assert!(k >= 1, "Limited_k needs k >= 1");
+                (Some(k), Storage::Limited(Vec::with_capacity(k)))
+            }
+        };
+        LocalityClassifier {
+            pct: cfg.pct,
+            one_way: cfg.one_way,
+            shortcut: cfg.shortcut,
+            timestamp_mech: matches!(cfg.mechanism, MechanismKind::Timestamp),
+            ladder,
+            ladder_len,
+            util_cap,
+            limit,
+            storage,
+        }
+    }
+
+    /// The mode this entry would use for `core` right now, without updating
+    /// any state (untracked cores report the majority vote).
+    #[must_use]
+    pub fn mode_of(&self, core: CoreId) -> SharerMode {
+        match &self.storage {
+            Storage::Complete(v) => v[core.index()].mode(),
+            Storage::Limited(v) => v
+                .iter()
+                .find(|i| i.core as usize == core.index())
+                .map_or_else(|| self.majority_vote(), |i| i.mode()),
+        }
+    }
+
+    /// Number of cores currently tracked (for tests and storage reports).
+    #[must_use]
+    pub fn tracked_count(&self) -> usize {
+        match &self.storage {
+            Storage::Complete(v) => v.len(),
+            Storage::Limited(v) => v.len(),
+        }
+    }
+
+    /// Classifies a miss request from `core` and updates utilization
+    /// counters per §3.2/§3.3.
+    ///
+    /// `line_last_access` is the line's last-access time at the L2 (used by
+    /// the Timestamp check); `now` is the current cycle. The caller must
+    /// afterwards call [`LocalityClassifier::on_write`] if the request is a
+    /// write, and hand out a line or word according to the returned mode.
+    pub fn classify_request(
+        &mut self,
+        core: CoreId,
+        hints: RequestHints,
+        line_last_access: Cycle,
+    ) -> ClassifyOutcome {
+        let pct = self.pct;
+        let one_way = self.one_way;
+        let timestamp_mech = self.timestamp_mech;
+        let util_cap = self.util_cap;
+        let ladder = self.ladder;
+        let ladder_len = self.ladder_len;
+        let default_mode = self.majority_or_initial(core);
+        let (info, tracked) = match self.lookup_or_allocate(core, default_mode) {
+            Some(info) => (info, true),
+            None => {
+                // Limited_k list full of active sharers: classify by
+                // majority vote, leave the list unchanged (§3.4).
+                return ClassifyOutcome { mode: default_mode, promoted: false, tracked: false };
+            }
+        };
+
+        if info.mode() == SharerMode::Private {
+            info.set_active(true);
+            return ClassifyOutcome { mode: SharerMode::Private, promoted: false, tracked };
+        }
+
+        // Remote sharer: update the remote utilization counter.
+        if timestamp_mech {
+            // Timestamp check (§3.2): count the access only if the line at
+            // the L2 is more recent than the coldest line of the
+            // requester's L1 set (trivially true with an invalid way).
+            let passes = hints.set_has_invalid || line_last_access > hints.set_min_last_access;
+            if passes {
+                info.remote_util = info.remote_util.saturating_add(1);
+            } else {
+                info.remote_util = 1;
+            }
+        } else {
+            info.remote_util = info.remote_util.saturating_add(1).min(util_cap);
+        }
+
+        // Promotion threshold: PCT under Timestamp; the RAT ladder under
+        // the approximation, with the §3.3 shortcut that an invalid way in
+        // the requester's set lowers the bar back to PCT (promotion cannot
+        // pollute the cache).
+        let threshold = if timestamp_mech || hints.set_has_invalid {
+            pct
+        } else {
+            ladder[(info.rat_level as usize).min(ladder_len - 1)]
+        };
+
+        if info.remote_util as u32 >= threshold && !(one_way && info.sticky_remote()) {
+            info.set_mode(SharerMode::Private);
+            info.set_active(true);
+            ClassifyOutcome { mode: SharerMode::Private, promoted: true, tracked }
+        } else {
+            info.set_active(true);
+            ClassifyOutcome { mode: SharerMode::Remote, promoted: false, tracked }
+        }
+    }
+
+    /// A write by `writer` has been serialized at this entry: the remote
+    /// utilization counters of all *other* remote sharers are reset to zero
+    /// and those sharers become inactive (§3.2, §3.4 — "a remote sharer
+    /// becomes inactive on a write by another core").
+    pub fn on_write(&mut self, writer: CoreId) {
+        let infos: &mut [CoreInfo] = match &mut self.storage {
+            Storage::Complete(v) => v,
+            Storage::Limited(v) => v,
+        };
+        for info in infos.iter_mut() {
+            if info.core as usize != writer.index() && info.mode() == SharerMode::Remote {
+                info.remote_util = 0;
+                info.set_active(false);
+            }
+        }
+    }
+
+    /// A private copy held by `core` was removed (invalidation ack or
+    /// eviction notify) carrying `private_util`. Runs the §3.2
+    /// classification — stay private iff `private + remote >= PCT` — and
+    /// the §3.3 RAT adjustment. Returns the core's new mode.
+    pub fn on_sharer_removed(
+        &mut self,
+        core: CoreId,
+        private_util: u32,
+        reason: RemovalReason,
+    ) -> SharerMode {
+        let one_way = self.one_way;
+        let pct = self.pct;
+        let max_level = (self.ladder.len() - 1) as u8;
+        let default_mode = self.majority_or_initial(core);
+        let Some(info) = self.lookup_or_allocate(core, default_mode) else {
+            // Untracked and unallocatable: the classification cannot be
+            // stored. Compute it against a zero remote counter anyway so
+            // the caller can at least report it.
+            return if private_util >= pct { SharerMode::Private } else { SharerMode::Remote };
+        };
+
+        let total = private_util + info.remote_util as u32;
+        let new_mode = if total >= pct && !(one_way && info.sticky_remote()) {
+            SharerMode::Private
+        } else {
+            SharerMode::Remote
+        };
+        match new_mode {
+            SharerMode::Private => {
+                // §3.3: classified private on removal -> RAT resets so the
+                // core can re-learn its classification.
+                info.rat_level = 0;
+                info.set_mode(SharerMode::Private);
+            }
+            SharerMode::Remote => {
+                if reason == RemovalReason::Eviction {
+                    // Eviction signals set pressure: harder to re-promote.
+                    info.rat_level = (info.rat_level + 1).min(max_level);
+                }
+                info.set_mode(SharerMode::Remote);
+                if one_way {
+                    info.flags |= FLAG_STICKY_REMOTE;
+                }
+            }
+        }
+        info.remote_util = 0;
+        // A private sharer becomes inactive on invalidation or eviction.
+        info.set_active(false);
+        new_mode
+    }
+
+    /// Majority vote over tracked modes; ties and an empty list report
+    /// `Private`, the §3.2 initial mode.
+    fn majority_vote(&self) -> SharerMode {
+        let infos: &[CoreInfo] = match &self.storage {
+            Storage::Complete(v) => v,
+            Storage::Limited(v) => v,
+        };
+        let private = infos.iter().filter(|i| i.mode() == SharerMode::Private).count();
+        if 2 * private >= infos.len() {
+            SharerMode::Private
+        } else {
+            SharerMode::Remote
+        }
+    }
+
+    /// Initial mode for a core that is about to be (re)allocated: majority
+    /// vote when inferring from existing sharers (§3.4), or the §3.2
+    /// Private default when the list is empty / tracking is complete.
+    fn majority_or_initial(&self, _core: CoreId) -> SharerMode {
+        match &self.storage {
+            Storage::Complete(_) => SharerMode::Private, // always tracked
+            Storage::Limited(v) if v.is_empty() => SharerMode::Private,
+            Storage::Limited(_) => self.majority_vote(),
+        }
+    }
+
+    /// Finds the record for `core`, allocating (or replacing an inactive
+    /// sharer) in Limited_k mode. Returns `None` when the list is full of
+    /// active sharers.
+    fn lookup_or_allocate(&mut self, core: CoreId, init_mode: SharerMode) -> Option<&mut CoreInfo> {
+        let one_way = self.one_way;
+        let shortcut = self.shortcut;
+        match &mut self.storage {
+            Storage::Complete(v) => {
+                // §5.3's suggested extension: "the Complete locality
+                // classifier can also be equipped with such a learning
+                // short-cut" — a core's first classification is inferred
+                // from the cores that have already demonstrated a mode.
+                if shortcut && !v[core.index()].touched() {
+                    let touched: Vec<&CoreInfo> = v.iter().filter(|i| i.touched()).collect();
+                    let private =
+                        touched.iter().filter(|i| i.mode() == SharerMode::Private).count();
+                    let mode = if 2 * private >= touched.len() {
+                        SharerMode::Private
+                    } else {
+                        SharerMode::Remote
+                    };
+                    let info = &mut v[core.index()];
+                    info.set_mode(mode);
+                    if one_way && mode == SharerMode::Remote {
+                        info.flags |= FLAG_STICKY_REMOTE;
+                    }
+                }
+                let info = &mut v[core.index()];
+                info.flags |= FLAG_TOUCHED;
+                Some(info)
+            }
+            Storage::Limited(v) => {
+                if let Some(pos) = v.iter().position(|i| i.core as usize == core.index()) {
+                    return Some(&mut v[pos]);
+                }
+                let k = self.limit.expect("limited storage has a limit");
+                if v.len() < k {
+                    // Free entry: "it allocates the entry to the core and
+                    // the actions described in Section 3.2 are carried out"
+                    // — i.e. the §3.2 initial mode, Private. (This is what
+                    // makes Limited_64 identical to Complete, per the
+                    // caption of Figure 13.)
+                    v.push(CoreInfo::fresh(core, SharerMode::Private));
+                    let pos = v.len() - 1;
+                    return Some(&mut v[pos]);
+                }
+                // Replace an inactive sharer if one exists (§3.4): an ideal
+                // candidate "is a core that is currently not using the
+                // cache line".
+                if let Some(pos) = v.iter().position(|i| !i.active()) {
+                    v[pos] = CoreInfo::fresh_one_way(core, init_mode, one_way);
+                    return Some(&mut v[pos]);
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(pct: u32) -> ClassifierConfig {
+        ClassifierConfig {
+            pct,
+            tracking: TrackingKind::Complete,
+            mechanism: MechanismKind::rat_default(),
+            one_way: false,
+            shortcut: false,
+        }
+    }
+
+    fn c(n: usize) -> CoreId {
+        CoreId::new(n)
+    }
+
+    const NO_HINT: RequestHints = RequestHints { set_min_last_access: 0, set_has_invalid: true };
+    const PRESSURE: RequestHints =
+        RequestHints { set_min_last_access: u64::MAX, set_has_invalid: false };
+
+    #[test]
+    fn cores_start_private() {
+        let mut cl = LocalityClassifier::new(&cfg(4), 8);
+        let out = cl.classify_request(c(3), NO_HINT, 0);
+        assert_eq!(out.mode, SharerMode::Private);
+        assert!(!out.promoted);
+    }
+
+    #[test]
+    fn demotion_below_pct_and_stay_at_pct() {
+        let mut cl = LocalityClassifier::new(&cfg(4), 8);
+        assert_eq!(cl.on_sharer_removed(c(0), 3, RemovalReason::Eviction), SharerMode::Remote);
+        assert_eq!(cl.on_sharer_removed(c(1), 4, RemovalReason::Eviction), SharerMode::Private);
+        assert_eq!(cl.mode_of(c(0)), SharerMode::Remote);
+        assert_eq!(cl.mode_of(c(1)), SharerMode::Private);
+    }
+
+    #[test]
+    fn remote_utilization_promotes_at_pct_with_invalid_way() {
+        let mut cl = LocalityClassifier::new(&cfg(4), 8);
+        cl.on_sharer_removed(c(0), 1, RemovalReason::Eviction);
+        // Even though the eviction raised the RAT to 16, an invalid way in
+        // the requester's set applies the §3.3 shortcut: threshold = PCT.
+        for i in 1..4 {
+            let out = cl.classify_request(c(0), NO_HINT, 0);
+            assert_eq!(out.mode, SharerMode::Remote, "access {i} must stay remote");
+        }
+        let out = cl.classify_request(c(0), NO_HINT, 0);
+        assert_eq!(out.mode, SharerMode::Private);
+        assert!(out.promoted);
+    }
+
+    #[test]
+    fn eviction_demotion_raises_rat() {
+        let mut cl = LocalityClassifier::new(&cfg(4), 8);
+        cl.on_sharer_removed(c(0), 1, RemovalReason::Eviction); // RAT -> 16
+        // Under set pressure (no invalid way), promotion now needs 16.
+        for i in 1..16 {
+            let out = cl.classify_request(c(0), PRESSURE, 0);
+            assert_eq!(out.mode, SharerMode::Remote, "access {i} of 16");
+        }
+        let out = cl.classify_request(c(0), PRESSURE, 0);
+        assert_eq!(out.mode, SharerMode::Private);
+        assert!(out.promoted);
+    }
+
+    #[test]
+    fn invalidation_demotion_keeps_rat() {
+        let mut cl = LocalityClassifier::new(&cfg(4), 8);
+        cl.on_sharer_removed(c(0), 1, RemovalReason::Invalidation); // RAT stays at PCT
+        for _ in 0..3 {
+            assert_eq!(cl.classify_request(c(0), PRESSURE, 0).mode, SharerMode::Remote);
+        }
+        assert_eq!(cl.classify_request(c(0), PRESSURE, 0).mode, SharerMode::Private);
+    }
+
+    #[test]
+    fn back_invalidation_behaves_like_invalidation_for_rat() {
+        let mut cl = LocalityClassifier::new(&cfg(4), 8);
+        cl.on_sharer_removed(c(0), 1, RemovalReason::BackInvalidation);
+        for _ in 0..3 {
+            assert_eq!(cl.classify_request(c(0), PRESSURE, 0).mode, SharerMode::Remote);
+        }
+        assert_eq!(cl.classify_request(c(0), PRESSURE, 0).mode, SharerMode::Private);
+    }
+
+    #[test]
+    fn reclassification_as_private_resets_rat() {
+        let mut cl = LocalityClassifier::new(&cfg(4), 8);
+        cl.on_sharer_removed(c(0), 1, RemovalReason::Eviction); // RAT -> 16
+        // Build 16 remote accesses to promote under pressure.
+        for _ in 0..16 {
+            cl.classify_request(c(0), PRESSURE, 0);
+        }
+        assert_eq!(cl.mode_of(c(0)), SharerMode::Private);
+        // Removed as a *private* sharer with good utilization: RAT resets.
+        cl.on_sharer_removed(c(0), 4, RemovalReason::Eviction);
+        assert_eq!(cl.mode_of(c(0)), SharerMode::Private);
+        // Demote again; promotion threshold is PCT+RAT step from scratch:
+        // eviction demotion raises to level 1 (=16) again, but the first
+        // ladder rung after a private classification restarts at PCT:
+        cl.on_sharer_removed(c(0), 1, RemovalReason::Invalidation); // no raise
+        for _ in 0..3 {
+            assert_eq!(cl.classify_request(c(0), PRESSURE, 0).mode, SharerMode::Remote);
+        }
+        assert_eq!(cl.classify_request(c(0), PRESSURE, 0).mode, SharerMode::Private);
+    }
+
+    #[test]
+    fn remote_util_counts_toward_removal_classification() {
+        // §3.2: classification on removal uses private + remote utilization.
+        let mut cl = LocalityClassifier::new(&cfg(4), 8);
+        cl.on_sharer_removed(c(0), 1, RemovalReason::Invalidation); // remote
+        // Two remote accesses (remote_util = 2), then promoted? no: stays
+        // remote (2 < 4). Third and fourth accesses promote at PCT with
+        // invalid way.
+        cl.classify_request(c(0), NO_HINT, 0);
+        cl.classify_request(c(0), NO_HINT, 0);
+        cl.classify_request(c(0), NO_HINT, 0);
+        let out = cl.classify_request(c(0), NO_HINT, 0);
+        assert!(out.promoted);
+        // Now removed with private_util = 1: 1 + remote_util(4) >= 4 keeps
+        // it private — the paper's argument that the line would not have
+        // been evicted earlier had it been cached at reset time.
+        assert_eq!(cl.on_sharer_removed(c(0), 1, RemovalReason::Eviction), SharerMode::Private);
+    }
+
+    #[test]
+    fn write_resets_other_remote_sharers() {
+        let mut cl = LocalityClassifier::new(&cfg(4), 8);
+        for core in [0, 1, 2] {
+            cl.on_sharer_removed(c(core), 1, RemovalReason::Invalidation);
+        }
+        // Cores 0 and 1 accumulate remote utilization.
+        cl.classify_request(c(0), NO_HINT, 0);
+        cl.classify_request(c(0), NO_HINT, 0);
+        cl.classify_request(c(0), NO_HINT, 0);
+        cl.classify_request(c(1), NO_HINT, 0);
+        // Core 2 writes: everyone else's counters reset.
+        cl.classify_request(c(2), NO_HINT, 0);
+        cl.on_write(c(2));
+        // Core 0 lost its 3 accesses: needs 4 fresh ones again.
+        for _ in 0..3 {
+            assert_eq!(cl.classify_request(c(0), NO_HINT, 0).mode, SharerMode::Remote);
+        }
+        assert_eq!(cl.classify_request(c(0), NO_HINT, 0).mode, SharerMode::Private);
+    }
+
+    #[test]
+    fn timestamp_check_resets_counter_on_cold_line() {
+        let cfg = ClassifierConfig {
+            pct: 4,
+            tracking: TrackingKind::Complete,
+            mechanism: MechanismKind::Timestamp,
+            one_way: false,
+            shortcut: false,
+        };
+        let mut cl = LocalityClassifier::new(&cfg, 8);
+        cl.on_sharer_removed(c(0), 1, RemovalReason::Eviction);
+        // Line last accessed at t=10; the requester's set min is 50 and no
+        // invalid way: check fails -> counter resets to 1 every time, so
+        // the core is never promoted (cache pollution avoided).
+        let hints = RequestHints { set_min_last_access: 50, set_has_invalid: false };
+        for _ in 0..20 {
+            let out = cl.classify_request(c(0), hints, 10);
+            assert_eq!(out.mode, SharerMode::Remote);
+        }
+        // A hot line (last access beyond the set minimum) counts up from
+        // the resets' residual value of 1 and promotes at PCT.
+        for _ in 0..2 {
+            assert_eq!(cl.classify_request(c(0), hints, 100).mode, SharerMode::Remote);
+        }
+        assert!(cl.classify_request(c(0), hints, 100).promoted);
+    }
+
+    #[test]
+    fn one_way_protocol_never_promotes() {
+        let cfg = ClassifierConfig { one_way: true, ..cfg(4) };
+        let mut cl = LocalityClassifier::new(&cfg, 8);
+        cl.on_sharer_removed(c(0), 1, RemovalReason::Eviction);
+        for _ in 0..100 {
+            let out = cl.classify_request(c(0), NO_HINT, 0);
+            assert_eq!(out.mode, SharerMode::Remote, "Adapt1-way must never promote");
+        }
+    }
+
+    #[test]
+    fn pct_one_never_demotes() {
+        let mut cl = LocalityClassifier::new(&cfg(1), 8);
+        // Any removal carries utilization >= 1 (the install itself).
+        assert_eq!(cl.on_sharer_removed(c(0), 1, RemovalReason::Eviction), SharerMode::Private);
+        assert_eq!(cl.mode_of(c(0)), SharerMode::Private);
+    }
+
+    // ---- Limited_k (§3.4) ----
+
+    fn limited_cfg(k: usize) -> ClassifierConfig {
+        ClassifierConfig { tracking: TrackingKind::Limited { k }, ..cfg(4) }
+    }
+
+    #[test]
+    fn limited_allocates_free_entries_private() {
+        let mut cl = LocalityClassifier::new(&limited_cfg(3), 64);
+        let out = cl.classify_request(c(0), NO_HINT, 0);
+        assert_eq!(out.mode, SharerMode::Private);
+        assert!(out.tracked);
+        assert_eq!(cl.tracked_count(), 1);
+    }
+
+    #[test]
+    fn limited_majority_vote_for_untracked() {
+        let mut cl = LocalityClassifier::new(&limited_cfg(3), 64);
+        // Fill the list with three ACTIVE remote sharers.
+        for core in 0..3 {
+            cl.on_sharer_removed(c(core), 1, RemovalReason::Invalidation);
+            cl.classify_request(c(core), NO_HINT, 0); // remote access: active
+        }
+        assert_eq!(cl.tracked_count(), 3);
+        // A fourth core arrives; all entries active -> untracked, majority
+        // vote says Remote.
+        let out = cl.classify_request(c(50), NO_HINT, 0);
+        assert_eq!(out.mode, SharerMode::Remote);
+        assert!(!out.tracked);
+        assert_eq!(cl.tracked_count(), 3, "list must be left unchanged");
+    }
+
+    #[test]
+    fn limited_replaces_inactive_sharer() {
+        let mut cl = LocalityClassifier::new(&limited_cfg(2), 64);
+        cl.classify_request(c(0), NO_HINT, 0); // private, active
+        cl.classify_request(c(1), NO_HINT, 0); // private, active
+        // Core 0's copy is invalidated -> inactive, stays private (util 4).
+        cl.on_sharer_removed(c(0), 4, RemovalReason::Invalidation);
+        // Core 2 arrives: replaces core 0's entry; majority of tracked
+        // modes (2 private) -> starts private.
+        let out = cl.classify_request(c(2), NO_HINT, 0);
+        assert_eq!(out.mode, SharerMode::Private);
+        assert!(out.tracked);
+        assert_eq!(cl.tracked_count(), 2);
+        // Core 0 is untracked now; its mode is the majority vote.
+        assert_eq!(cl.mode_of(c(0)), SharerMode::Private);
+    }
+
+    #[test]
+    fn limited_majority_vote_starts_new_sharers_remote() {
+        // The streamcluster/dijkstra-ss effect (§5.3): once tracked sharers
+        // are remote, new sharers skip the private classification phase.
+        let mut cl = LocalityClassifier::new(&limited_cfg(3), 64);
+        for core in 0..3 {
+            cl.on_sharer_removed(c(core), 1, RemovalReason::Invalidation); // remote, inactive
+        }
+        let out = cl.classify_request(c(10), NO_HINT, 0);
+        assert_eq!(out.mode, SharerMode::Remote, "inferred from majority");
+        assert!(out.tracked, "replaced an inactive entry");
+    }
+
+    #[test]
+    fn limited_one_tracks_first_sharer_pathology() {
+        // §5.3: with k=1 the first sharer's mode decides everyone's fate —
+        // the radix/bodytrack pathologies.
+        let mut cl = LocalityClassifier::new(&limited_cfg(1), 64);
+        cl.on_sharer_removed(c(0), 1, RemovalReason::Invalidation); // remote, inactive
+        // Core 1 replaces it, inheriting Remote by majority vote even
+        // though it might have wanted Private.
+        let out = cl.classify_request(c(1), NO_HINT, 0);
+        assert_eq!(out.mode, SharerMode::Remote);
+    }
+
+    #[test]
+    fn limited_tie_votes_private() {
+        let mut cl = LocalityClassifier::new(&limited_cfg(2), 64);
+        cl.classify_request(c(0), NO_HINT, 0); // private active
+        cl.on_sharer_removed(c(1), 1, RemovalReason::Invalidation); // remote inactive
+        // 1 private vs 1 remote: tie -> Private (the §3.2 initial mode).
+        assert_eq!(cl.mode_of(c(9)), SharerMode::Private);
+    }
+
+    #[test]
+    fn complete_shortcut_infers_first_classification() {
+        // §5.3's suggested extension: once the demonstrated modes lean
+        // remote, a fresh core skips the private classification phase.
+        let sc_cfg = ClassifierConfig { shortcut: true, ..cfg(4) };
+        let mut cl = LocalityClassifier::new(&sc_cfg, 8);
+        for core in 0..3 {
+            // Touch + demote three cores.
+            cl.classify_request(c(core), NO_HINT, 0);
+            cl.on_sharer_removed(c(core), 1, RemovalReason::Invalidation);
+        }
+        let out = cl.classify_request(c(7), NO_HINT, 0);
+        assert_eq!(out.mode, SharerMode::Remote, "inferred from the demonstrated majority");
+        // Without the shortcut, the same history yields Private.
+        let mut plain = LocalityClassifier::new(&cfg(4), 8);
+        for core in 0..3 {
+            plain.classify_request(c(core), NO_HINT, 0);
+            plain.on_sharer_removed(c(core), 1, RemovalReason::Invalidation);
+        }
+        assert_eq!(plain.classify_request(c(7), NO_HINT, 0).mode, SharerMode::Private);
+    }
+
+    #[test]
+    fn complete_shortcut_with_no_history_stays_private() {
+        let sc_cfg = ClassifierConfig { shortcut: true, ..cfg(4) };
+        let mut cl = LocalityClassifier::new(&sc_cfg, 8);
+        assert_eq!(cl.classify_request(c(0), NO_HINT, 0).mode, SharerMode::Private);
+    }
+
+    #[test]
+    fn complete_shortcut_private_majority_stays_private() {
+        let sc_cfg = ClassifierConfig { shortcut: true, ..cfg(4) };
+        let mut cl = LocalityClassifier::new(&sc_cfg, 8);
+        // Two well-behaved sharers, one demoted: majority private.
+        cl.classify_request(c(0), NO_HINT, 0);
+        cl.on_sharer_removed(c(0), 6, RemovalReason::Eviction);
+        cl.classify_request(c(1), NO_HINT, 0);
+        cl.on_sharer_removed(c(1), 5, RemovalReason::Eviction);
+        cl.classify_request(c(2), NO_HINT, 0);
+        cl.on_sharer_removed(c(2), 1, RemovalReason::Eviction);
+        assert_eq!(cl.classify_request(c(7), NO_HINT, 0).mode, SharerMode::Private);
+    }
+
+    #[test]
+    fn complete_equals_limited_n() {
+        // Limited_64 on a 64-core machine must behave like Complete.
+        let mut complete = LocalityClassifier::new(&cfg(4), 64);
+        let mut limited = LocalityClassifier::new(&limited_cfg(64), 64);
+        let script: Vec<(usize, u32)> = vec![(0, 1), (1, 5), (2, 2), (0, 4), (3, 1)];
+        for (core, util) in script {
+            let a = complete.on_sharer_removed(c(core), util, RemovalReason::Eviction);
+            let b = limited.on_sharer_removed(c(core), util, RemovalReason::Eviction);
+            assert_eq!(a, b);
+            for probe in 0..4 {
+                let oa = complete.classify_request(c(probe), NO_HINT, 0);
+                let ob = limited.classify_request(c(probe), NO_HINT, 0);
+                assert_eq!(oa.mode, ob.mode, "core {probe} diverged");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_cfg() -> impl Strategy<Value = ClassifierConfig> {
+        (1u32..6, 1usize..5, prop_oneof![Just(true), Just(false)], 1usize..4).prop_map(
+            |(pct, k, one_way, levels)| ClassifierConfig {
+                pct,
+                tracking: if k == 4 {
+                    TrackingKind::Complete
+                } else {
+                    TrackingKind::Limited { k }
+                },
+                mechanism: MechanismKind::RatLevels { levels, rat_max: pct + 12 },
+                one_way,
+                shortcut: false,
+            },
+        )
+    }
+
+    proptest! {
+        /// The classifier never crashes and always returns a definite mode
+        /// under arbitrary event interleavings, and Limited_k never tracks
+        /// more than k cores.
+        #[test]
+        fn total_and_bounded(
+            cfg in arb_cfg(),
+            events in proptest::collection::vec((0usize..8, 0u8..3, 0u32..8, proptest::bool::ANY), 1..200),
+        ) {
+            let mut cl = LocalityClassifier::new(&cfg, 8);
+            let k = match cfg.tracking {
+                TrackingKind::Complete => 8,
+                TrackingKind::Limited { k } => k,
+            };
+            for (core, ev, util, invalid_way) in events {
+                let core = CoreId::new(core);
+                let hints = RequestHints { set_min_last_access: 5, set_has_invalid: invalid_way };
+                match ev {
+                    0 => {
+                        let out = cl.classify_request(core, hints, 10);
+                        if out.promoted {
+                            prop_assert_eq!(out.mode, SharerMode::Private);
+                        }
+                    }
+                    1 => {
+                        let _ = cl.on_sharer_removed(core, util, RemovalReason::Eviction);
+                    }
+                    _ => cl.on_write(core),
+                }
+                prop_assert!(cl.tracked_count() <= k.max(8));
+                if let TrackingKind::Limited { k } = cfg.tracking {
+                    prop_assert!(cl.tracked_count() <= k);
+                }
+            }
+        }
+
+        /// Under the one-way protocol a demoted core never reports Private
+        /// again (Figure 4 loses its return edge).
+        #[test]
+        fn one_way_is_absorbing(
+            pct in 2u32..6,
+            events in proptest::collection::vec((0u8..2, 0u32..4), 1..100),
+        ) {
+            let cfg = ClassifierConfig {
+                pct,
+                tracking: TrackingKind::Complete,
+                mechanism: MechanismKind::rat_default(),
+                one_way: true,
+                shortcut: false,
+            };
+            let mut cl = LocalityClassifier::new(&cfg, 2);
+            let core = CoreId::new(0);
+            let mut demoted = false;
+            for (ev, util) in events {
+                match ev {
+                    0 => {
+                        let out = cl.classify_request(
+                            core,
+                            RequestHints { set_min_last_access: 0, set_has_invalid: true },
+                            0,
+                        );
+                        if demoted {
+                            prop_assert_eq!(out.mode, SharerMode::Remote);
+                        }
+                    }
+                    _ => {
+                        let m = cl.on_sharer_removed(core, util, RemovalReason::Eviction);
+                        if m == SharerMode::Remote {
+                            demoted = true;
+                        }
+                        // util < pct can only happen pre-demotion; once
+                        // sticky, on_sharer_removed must keep it remote.
+                        if demoted {
+                            prop_assert!(util >= pct || m == SharerMode::Remote);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! The private L1 cache with the paper's tag extensions (Figure 5).
+//!
+//! Each L1 line carries, beyond MESI state and data: the **private
+//! utilization counter** (incremented on every hit, initialized to 1 on
+//! install) and the **last-access timestamp** used by the Timestamp
+//! classifier. On a miss the L1 computes the [`RequestHints`] — the minimum
+//! last-access time over the target set and whether the set has an invalid
+//! way — which travel to the directory with the request (§3.2–3.3).
+//!
+//! §3.6 notes the utilization update costs no extra cache access: the tag
+//! array is already written on every hit to update the LRU state; the
+//! 2-bit counter rides along.
+
+use lacc_cache::{LineData, SetAssocCache};
+use lacc_model::{CacheConfig, CoreId, Cycle, LineAddr};
+
+use crate::classifier::RequestHints;
+use crate::mesi::MesiState;
+
+/// One valid L1 line (Figure 5's extended tag + the data words).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct L1Line {
+    /// MESI state of this copy.
+    pub mesi: MesiState,
+    /// Private utilization: accesses since install (§3.2). The simulator
+    /// tracks the full value for the Figure 1–2 histograms; hardware only
+    /// needs `ceil(log2(PCT))` bits.
+    pub utilization: u32,
+    /// Cycle of the most recent access (Timestamp classifier).
+    pub last_access: Cycle,
+    /// The line's eight words (functional simulation).
+    pub data: LineData,
+}
+
+/// A line displaced by an install; its utilization travels to the
+/// directory in the eviction notify.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EvictedL1Line {
+    /// Which line was evicted.
+    pub line: LineAddr,
+    /// `true` if the copy was Modified (data must be written back).
+    pub dirty: bool,
+    /// Final private utilization.
+    pub utilization: u32,
+    /// The line content (meaningful when `dirty`).
+    pub data: LineData,
+}
+
+/// Result of a store lookup.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StoreOutcome {
+    /// Write completed (M, or silent E→M upgrade).
+    Done,
+    /// The line is present read-only: an *upgrade miss* (S→M request, no
+    /// data transfer).
+    NeedsUpgrade,
+    /// The line is absent: full write miss.
+    Miss,
+}
+
+/// A private L1 cache (data or instruction side).
+#[derive(Clone, Debug)]
+pub struct L1Cache {
+    tags: SetAssocCache<L1Line>,
+    owner: CoreId,
+}
+
+impl L1Cache {
+    /// Creates an L1 of the given geometry for `owner`.
+    #[must_use]
+    pub fn new(cfg: &CacheConfig, line_bytes: usize, owner: CoreId) -> Self {
+        L1Cache { tags: SetAssocCache::new(cfg.num_sets(line_bytes), cfg.associativity), owner }
+    }
+
+    /// The core this cache belongs to.
+    #[must_use]
+    pub fn owner(&self) -> CoreId {
+        self.owner
+    }
+
+    /// Number of valid lines (tests).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// `true` when the cache holds no valid line.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Looks up a load. On a hit: bumps utilization, refreshes LRU and the
+    /// last-access timestamp, and returns the word. On a miss: `None`.
+    pub fn load(&mut self, line: LineAddr, word: usize, now: Cycle) -> Option<u64> {
+        let l = self.tags.get_mut(line)?;
+        l.utilization += 1;
+        l.last_access = now;
+        Some(l.data.word(word))
+    }
+
+    /// Looks up a store. In M/E the word is written (E upgrades to M
+    /// silently) and utilization bumps; in S the store must first obtain
+    /// write permission (upgrade miss) — the counter bump happens when
+    /// [`L1Cache::apply_upgrade`] completes the access.
+    pub fn store(&mut self, line: LineAddr, word: usize, value: u64, now: Cycle) -> StoreOutcome {
+        match self.tags.get_mut(line) {
+            None => StoreOutcome::Miss,
+            Some(l) => match l.mesi {
+                MesiState::Modified | MesiState::Exclusive => {
+                    l.mesi = MesiState::Modified;
+                    l.utilization += 1;
+                    l.last_access = now;
+                    l.data.set_word(word, value);
+                    StoreOutcome::Done
+                }
+                MesiState::Shared => StoreOutcome::NeedsUpgrade,
+            },
+        }
+    }
+
+    /// Computes the §3.2/§3.3 hints for a miss on `line`: minimum
+    /// last-access over the valid lines of the target set, and whether the
+    /// set has an invalid way (in which case the minimum is reported as 0
+    /// and the Timestamp check trivially passes).
+    #[must_use]
+    pub fn hints_for(&self, line: LineAddr) -> RequestHints {
+        let set = self.tags.set_index(line);
+        let has_invalid = self.tags.free_ways_in_set_of(line) > 0;
+        if has_invalid {
+            return RequestHints { set_min_last_access: 0, set_has_invalid: true };
+        }
+        let min = self.tags.iter_set(set).map(|(_, _, l)| l.last_access).min().unwrap_or(0);
+        RequestHints { set_min_last_access: min, set_has_invalid: false }
+    }
+
+    /// Installs a granted line (utilization starts at 1 — the access that
+    /// caused the miss). Returns the displaced victim, if any, whose
+    /// eviction notify the caller must send.
+    pub fn install(
+        &mut self,
+        line: LineAddr,
+        mesi: MesiState,
+        data: LineData,
+        now: Cycle,
+    ) -> Option<EvictedL1Line> {
+        let fresh = L1Line { mesi, utilization: 1, last_access: now, data };
+        let out = self.tags.insert(line, fresh);
+        out.evicted.map(|(vline, v)| EvictedL1Line {
+            line: vline,
+            dirty: v.mesi.is_dirty(),
+            utilization: v.utilization,
+            data: v.data,
+        })
+    }
+
+    /// Completes an upgrade: S→M, performs the pending store, bumps
+    /// utilization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is absent or not in S (the protocol guarantees
+    /// the upgrade reply only arrives while the S copy is held: the
+    /// directory serializes writes to the line).
+    pub fn apply_upgrade(&mut self, line: LineAddr, word: usize, value: u64, now: Cycle) {
+        let l = self.tags.get_mut(line).expect("upgrade for absent line");
+        assert_eq!(l.mesi, MesiState::Shared, "upgrade of non-shared line");
+        l.mesi = MesiState::Modified;
+        l.utilization += 1;
+        l.last_access = now;
+        l.data.set_word(word, value);
+    }
+
+    /// Processes an invalidation: removes the copy, returning its final
+    /// utilization and (if dirty) its data for the ack. `None` when the
+    /// copy is already gone (the eviction notify is in flight and serves as
+    /// the response — the core must *not* ack, §3.1/DESIGN.md).
+    pub fn process_inv(&mut self, line: LineAddr) -> Option<EvictedL1Line> {
+        self.tags.remove(line).map(|l| EvictedL1Line {
+            line,
+            dirty: l.mesi.is_dirty(),
+            utilization: l.utilization,
+            data: l.data,
+        })
+    }
+
+    /// Processes a downgrade (synchronous write-back request): M/E→S,
+    /// returning whether the copy was dirty and its data. `None` when the
+    /// copy is gone (eviction raced; the notify carries the data).
+    pub fn process_downgrade(&mut self, line: LineAddr) -> Option<(bool, LineData)> {
+        let l = self.tags.peek_mut(line)?;
+        let was_dirty = l.mesi.is_dirty();
+        let data = l.data;
+        l.mesi = MesiState::Shared;
+        Some((was_dirty, data))
+    }
+
+    /// State of a line, for tests and invariant checks.
+    #[must_use]
+    pub fn state_of(&self, line: LineAddr) -> Option<MesiState> {
+        self.tags.get(line).map(|l| l.mesi)
+    }
+
+    /// Utilization counter of a line, for tests.
+    #[must_use]
+    pub fn utilization_of(&self, line: LineAddr) -> Option<u32> {
+        self.tags.get(line).map(|l| l.utilization)
+    }
+
+    /// Iterates over valid lines (invariant checks).
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &L1Line)> {
+        self.tags.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> L1Cache {
+        // 2 sets x 2 ways.
+        L1Cache::new(&CacheConfig::new(256, 2, 1), 64, CoreId::new(0))
+    }
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn load_miss_then_hit_counts_utilization() {
+        let mut c = cache();
+        assert_eq!(c.load(line(0), 0, 1), None);
+        c.install(line(0), MesiState::Exclusive, LineData::zeroed(), 2);
+        assert_eq!(c.utilization_of(line(0)), Some(1), "install counts as first use");
+        assert_eq!(c.load(line(0), 0, 3), Some(0));
+        assert_eq!(c.load(line(0), 1, 4), Some(0));
+        assert_eq!(c.utilization_of(line(0)), Some(3));
+    }
+
+    #[test]
+    fn store_in_e_upgrades_silently() {
+        let mut c = cache();
+        c.install(line(0), MesiState::Exclusive, LineData::zeroed(), 0);
+        assert_eq!(c.store(line(0), 2, 99, 1), StoreOutcome::Done);
+        assert_eq!(c.state_of(line(0)), Some(MesiState::Modified));
+        assert_eq!(c.load(line(0), 2, 2), Some(99));
+    }
+
+    #[test]
+    fn store_in_s_needs_upgrade() {
+        let mut c = cache();
+        c.install(line(0), MesiState::Shared, LineData::zeroed(), 0);
+        assert_eq!(c.store(line(0), 0, 1, 1), StoreOutcome::NeedsUpgrade);
+        assert_eq!(c.utilization_of(line(0)), Some(1), "pending store not yet counted");
+        c.apply_upgrade(line(0), 0, 1, 2);
+        assert_eq!(c.state_of(line(0)), Some(MesiState::Modified));
+        assert_eq!(c.utilization_of(line(0)), Some(2));
+        assert_eq!(c.load(line(0), 0, 3), Some(1));
+    }
+
+    #[test]
+    fn hints_report_invalid_way() {
+        let mut c = cache();
+        let h = c.hints_for(line(0));
+        assert!(h.set_has_invalid);
+        // Fill set 0 (lines 0 and 2 map to set 0 of 2 sets).
+        c.install(line(0), MesiState::Shared, LineData::zeroed(), 5);
+        c.install(line(2), MesiState::Shared, LineData::zeroed(), 9);
+        let h = c.hints_for(line(4));
+        assert!(!h.set_has_invalid);
+        assert_eq!(h.set_min_last_access, 5);
+        // Touching line 0 raises the set minimum to 9.
+        c.load(line(0), 0, 20);
+        assert_eq!(c.hints_for(line(4)).set_min_last_access, 9);
+    }
+
+    #[test]
+    fn install_evicts_lru_and_reports_dirtiness() {
+        let mut c = cache();
+        c.install(line(0), MesiState::Exclusive, LineData::zeroed(), 0);
+        c.store(line(0), 0, 7, 1);
+        c.install(line(2), MesiState::Shared, LineData::zeroed(), 2);
+        // Set 0 is full; line 0 is LRU... but line 0 was touched at t=1 by
+        // the store, line 2 installed at t=2, so line 0 is LRU.
+        let v = c.install(line(4), MesiState::Shared, LineData::zeroed(), 3).unwrap();
+        assert_eq!(v.line, line(0));
+        assert!(v.dirty);
+        assert_eq!(v.utilization, 2);
+        assert_eq!(v.data.word(0), 7);
+    }
+
+    #[test]
+    fn invalidation_returns_utilization_and_data() {
+        let mut c = cache();
+        c.install(line(0), MesiState::Exclusive, LineData::zeroed(), 0);
+        c.store(line(0), 3, 42, 1);
+        let v = c.process_inv(line(0)).unwrap();
+        assert!(v.dirty);
+        assert_eq!(v.utilization, 2);
+        assert_eq!(v.data.word(3), 42);
+        assert_eq!(c.process_inv(line(0)), None, "second invalidation finds nothing");
+    }
+
+    #[test]
+    fn downgrade_keeps_line_shared() {
+        let mut c = cache();
+        c.install(line(0), MesiState::Exclusive, LineData::zeroed(), 0);
+        c.store(line(0), 0, 5, 1);
+        let (dirty, data) = c.process_downgrade(line(0)).unwrap();
+        assert!(dirty);
+        assert_eq!(data.word(0), 5);
+        assert_eq!(c.state_of(line(0)), Some(MesiState::Shared));
+        // A second downgrade reports clean.
+        let (dirty, _) = c.process_downgrade(line(0)).unwrap();
+        assert!(!dirty);
+    }
+
+    #[test]
+    #[should_panic(expected = "absent line")]
+    fn upgrade_of_absent_line_panics() {
+        let mut c = cache();
+        c.apply_upgrade(line(0), 0, 1, 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! MESI cache-line states (Table 1: "Invalidation-based MESI").
+//!
+//! An L1 line that is not present is simply absent from the tag array, so
+//! there is no explicit `Invalid` variant. The directory summarizes the L1
+//! copies of a line with [`DirState`].
+
+use lacc_model::CoreId;
+
+/// State of a valid line in a private L1 cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MesiState {
+    /// Writable and dirty; the only copy on chip that is newer than the L2.
+    Modified,
+    /// Writable and clean; the only L1 copy. Upgrades to `Modified`
+    /// silently on a store (no upgrade miss).
+    Exclusive,
+    /// Read-only; other L1 copies may exist.
+    Shared,
+}
+
+impl MesiState {
+    /// `true` if a store can complete without a coherence request.
+    #[must_use]
+    pub fn can_write(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+
+    /// `true` if the copy may differ from the home L2 (must be written
+    /// back when removed).
+    #[must_use]
+    pub fn is_dirty(self) -> bool {
+        matches!(self, MesiState::Modified)
+    }
+}
+
+/// The directory's summary of a line's L1 copies.
+///
+/// Remote sharers never appear here: they hold no L1 copy, so they are
+/// invisible to coherence and tracked only by the locality classifier —
+/// the decoupling that §3.4 calls out ("the hardware pointers of ACKwise
+/// are used to maintain coherence, the limited locality list serves to
+/// classify cores").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum DirState {
+    /// No private L1 copies exist (the L2 itself may hold the line).
+    #[default]
+    Uncached,
+    /// One or more read-only copies; identities (or at least the count)
+    /// live in the sharer tracker.
+    Shared,
+    /// A single owner holds the line in `Exclusive` or `Modified` state.
+    /// The directory cannot distinguish E from M (E→M upgrades are silent),
+    /// so it must assume the owner's copy may be dirty.
+    Exclusive(CoreId),
+}
+
+impl DirState {
+    /// The owner if the line is exclusively held.
+    #[must_use]
+    pub fn owner(self) -> Option<CoreId> {
+        match self {
+            DirState::Exclusive(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_permissions() {
+        assert!(MesiState::Modified.can_write());
+        assert!(MesiState::Exclusive.can_write());
+        assert!(!MesiState::Shared.can_write());
+    }
+
+    #[test]
+    fn only_modified_is_dirty() {
+        assert!(MesiState::Modified.is_dirty());
+        assert!(!MesiState::Exclusive.is_dirty());
+        assert!(!MesiState::Shared.is_dirty());
+    }
+
+    #[test]
+    fn dir_state_owner() {
+        assert_eq!(DirState::Uncached.owner(), None);
+        assert_eq!(DirState::Shared.owner(), None);
+        assert_eq!(DirState::Exclusive(CoreId::new(3)).owner(), Some(CoreId::new(3)));
+    }
+
+    #[test]
+    fn default_is_uncached() {
+        assert_eq!(DirState::default(), DirState::Uncached);
+    }
+}

@@ -1,0 +1,203 @@
+//! Storage-overhead arithmetic of §3.6.
+//!
+//! Reproduces, from first principles, every number the paper reports:
+//! 18 KB per core for the Limited_3 classifier, 192 KB for the Complete
+//! classifier, 12 KB for ACKwise_4, 32 KB for a full-map directory, a
+//! 5.7% overhead over baseline ACKwise_4 for the default configuration and
+//! ~60% for the Complete classifier — and the headline comparison that
+//! **Limited_3 + ACKwise_4 needs less storage than full-map alone**.
+
+use lacc_model::config::{MechanismKind, SystemConfig, TrackingKind};
+use lacc_model::DirectoryKind;
+
+/// Bits needed to count `states` distinct values.
+#[must_use]
+fn bits_for(states: u64) -> u32 {
+    64 - states.saturating_sub(1).leading_zeros().min(64)
+}
+
+/// Per-core storage accounting, all sizes in kilobytes (KB = 1024 bytes).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct StorageReport {
+    /// Bits of locality state per tracked core at the directory
+    /// (remote-utilization counter + mode bit + RAT-level bits, §3.6).
+    pub bits_per_tracked_core: u32,
+    /// Bits added to each directory entry by the classifier (tracked cores
+    /// × per-core bits, + core-id bits each under Limited_k).
+    pub classifier_bits_per_entry: u32,
+    /// KB per core of classifier state at the directory.
+    pub classifier_kb: f64,
+    /// KB per core of utilization bits in the L1 caches.
+    pub l1_kb: f64,
+    /// KB per core for the sharer-tracking directory itself.
+    pub directory_kb: f64,
+    /// KB per core for a full-map directory (comparison point).
+    pub full_map_kb: f64,
+    /// Classifier overhead as a fraction of the baseline per-core storage
+    /// (L1-I + L1-D + L2 + directory), as computed in §3.6.
+    pub overhead_vs_baseline: f64,
+}
+
+/// Computes the §3.6 storage report for a configuration.
+///
+/// # Examples
+///
+/// ```
+/// use lacc_core::overheads::storage_report;
+/// use lacc_model::config::SystemConfig;
+///
+/// let r = storage_report(&SystemConfig::isca13_64core());
+/// assert_eq!(r.classifier_kb, 18.0);            // the paper's 18 KB
+/// assert!((r.overhead_vs_baseline - 0.057).abs() < 0.001); // its 5.7%
+/// ```
+#[must_use]
+pub fn storage_report(cfg: &SystemConfig) -> StorageReport {
+    let num_cores = cfg.num_cores as u64;
+    let dir_entries = cfg.l2.num_lines(cfg.line_bytes) as u64; // integrated per L2 line
+
+    // Private utilization counter: counts 1..=PCT (2 bits at PCT = 4).
+    let l1_util_bits = bits_for(cfg.classifier.pct as u64).max(1);
+    // Remote utilization counter: counts up to RATmax (4 bits at 16).
+    let (rat_max, rat_levels) = match cfg.classifier.mechanism {
+        MechanismKind::RatLevels { levels, rat_max } => (rat_max as u64, levels as u64),
+        // The Timestamp variant needs a 64-bit timestamp instead of RAT
+        // bits; the remote counter still counts to PCT.
+        MechanismKind::Timestamp => (cfg.classifier.pct as u64, 1),
+    };
+    let remote_util_bits = bits_for(rat_max).max(1);
+    let mode_bit = 1u32;
+    let rat_level_bits = if rat_levels > 1 { bits_for(rat_levels).max(1) } else { 1 };
+    let timestamp_bits =
+        if matches!(cfg.classifier.mechanism, MechanismKind::Timestamp) { 64 } else { 0 };
+    let bits_per_tracked_core = remote_util_bits + mode_bit + rat_level_bits + timestamp_bits;
+
+    let core_id_bits = bits_for(num_cores).max(1);
+    let classifier_bits_per_entry = match cfg.classifier.tracking {
+        TrackingKind::Complete => num_cores as u32 * bits_per_tracked_core,
+        TrackingKind::Limited { k } => k as u32 * (bits_per_tracked_core + core_id_bits),
+    };
+    let classifier_kb = (classifier_bits_per_entry as u64 * dir_entries) as f64 / 8.0 / 1024.0;
+
+    // L1 tag extensions: utilization bits per line over both L1s (§3.6
+    // neglects this — we report it). The Timestamp variant also stores a
+    // 64-bit last-access timestamp per L1 line.
+    let l1_lines =
+        (cfg.l1i.num_lines(cfg.line_bytes) + cfg.l1d.num_lines(cfg.line_bytes)) as u64;
+    let l1_bits_per_line = l1_util_bits + timestamp_bits;
+    let l1_kb = (l1_bits_per_line as u64 * l1_lines) as f64 / 8.0 / 1024.0;
+
+    // Sharer-tracking storage.
+    let dir_bits_per_entry = match cfg.directory {
+        DirectoryKind::FullMap => num_cores as u32,
+        DirectoryKind::AckWise { pointers } => pointers as u32 * core_id_bits,
+    };
+    let directory_kb = (dir_bits_per_entry as u64 * dir_entries) as f64 / 8.0 / 1024.0;
+    let full_map_kb = (num_cores * dir_entries) as f64 / 8.0 / 1024.0;
+
+    // Baseline per-core storage: L1-I + L1-D + L2 + directory (§3.6
+    // "factoring in the L1-I, L1-D and L2 cache sizes also").
+    let baseline_kb = (cfg.l1i.size_bytes + cfg.l1d.size_bytes + cfg.l2.size_bytes) as f64 / 1024.0
+        + directory_kb;
+    let overhead_vs_baseline = (classifier_kb + l1_kb) / baseline_kb;
+
+    StorageReport {
+        bits_per_tracked_core,
+        classifier_bits_per_entry,
+        classifier_kb,
+        l1_kb,
+        directory_kb,
+        full_map_kb,
+        overhead_vs_baseline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lacc_model::config::ClassifierConfig;
+
+    #[test]
+    fn bits_for_counts() {
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(16), 4);
+        assert_eq!(bits_for(64), 6);
+        assert_eq!(bits_for(5), 3);
+    }
+
+    #[test]
+    fn paper_numbers_limited3() {
+        let r = storage_report(&SystemConfig::isca13_64core());
+        // §3.6: 12 bits per tracked sharer (4 util + 1 mode + 1 RAT-level
+        // + 6 core id), 36 bits per entry, 18 KB per core.
+        assert_eq!(r.bits_per_tracked_core, 6);
+        assert_eq!(r.classifier_bits_per_entry, 36);
+        assert_eq!(r.classifier_kb, 18.0);
+        // ACKwise_4: 24 bits/entry = 12 KB; full map: 64 bits = 32 KB.
+        assert_eq!(r.directory_kb, 12.0);
+        assert_eq!(r.full_map_kb, 32.0);
+        // L1 overhead ~0.19 KB (neglected by the paper).
+        assert!((r.l1_kb - 0.1875).abs() < 1e-9);
+        // 18/316 = 5.7%.
+        assert!((r.overhead_vs_baseline - 0.0575).abs() < 0.002);
+        // Headline: Limited_3 + ACKwise_4 < full-map alone.
+        assert!(r.classifier_kb + r.directory_kb < r.full_map_kb);
+    }
+
+    #[test]
+    fn paper_numbers_complete() {
+        let mut cfg = SystemConfig::isca13_64core();
+        cfg.classifier.tracking = TrackingKind::Complete;
+        let r = storage_report(&cfg);
+        // §3.6: 384 (= 64 x 6) bits per entry, 192 KB, ~60% overhead.
+        assert_eq!(r.classifier_bits_per_entry, 384);
+        assert_eq!(r.classifier_kb, 192.0);
+        assert!((r.overhead_vs_baseline - 0.61).abs() < 0.02);
+    }
+
+    #[test]
+    fn timestamp_variant_is_much_bigger() {
+        let mut cfg = SystemConfig::isca13_64core();
+        cfg.classifier = ClassifierConfig {
+            mechanism: MechanismKind::Timestamp,
+            tracking: TrackingKind::Complete,
+            ..cfg.classifier
+        };
+        let r = storage_report(&cfg);
+        // 64-bit timestamps per core per entry dwarf everything — the
+        // motivation for §3.3's RAT approximation.
+        assert!(r.classifier_kb > 1000.0);
+        assert!(r.l1_kb > 5.0, "L1 also pays a 64-bit timestamp per line");
+    }
+
+    #[test]
+    fn complete_classifier_explodes_at_1024_cores() {
+        // §3.4: the Complete classifier "has a storage overhead of 60% at
+        // 64 cores and over 10x at 1024 cores".
+        let mut cfg = SystemConfig::isca13_64core();
+        cfg.num_cores = 1024;
+        cfg.classifier.tracking = TrackingKind::Complete;
+        let r = storage_report(&cfg);
+        // Our arithmetic: 6 bits x 1024 cores x 4096 entries = 3072 KB
+        // against a 324 KB baseline = 9.5x; the paper quotes "over 10x"
+        // (the same calculation under slightly different baseline terms).
+        assert!(
+            r.overhead_vs_baseline > 9.0,
+            "Complete at 1024 cores must be ~10x: {:.1}x",
+            r.overhead_vs_baseline
+        );
+        assert!(r.classifier_kb >= 3000.0);
+        // Limited_3 stays modest at the same core count.
+        cfg.classifier.tracking = TrackingKind::Limited { k: 3 };
+        let r = storage_report(&cfg);
+        assert!(r.overhead_vs_baseline < 0.10, "Limited_3 at 1024 cores: {:.3}", r.overhead_vs_baseline);
+    }
+
+    #[test]
+    fn full_map_directory_size() {
+        let cfg = SystemConfig::isca13_64core().with_directory(DirectoryKind::FullMap);
+        let r = storage_report(&cfg);
+        assert_eq!(r.directory_kb, 32.0);
+    }
+}

@@ -1,0 +1,386 @@
+//! Directory sharer tracking: full-map and ACKwise_p.
+//!
+//! ACKwise_p (§3.1) keeps up to `p` exact sharer pointers. When a line
+//! gains a sharer beyond `p`, the identities are dropped and only a count
+//! is maintained; exclusive requests then *broadcast* the invalidation, but
+//! acknowledgements are expected "from only the actual sharers of the
+//! data", which is exactly the count the directory kept.
+
+use lacc_model::CoreId;
+
+use crate::DirectoryKind;
+
+/// How an invalidation round must be delivered, produced by
+/// [`SharerTracker::invalidation_plan`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InvalidationPlan {
+    /// Send a unicast invalidation to each listed sharer and await one
+    /// response (inv-ack or racing evict-notify) per core.
+    Unicast(Vec<CoreId>),
+    /// Broadcast the invalidation (single network injection) and await
+    /// `expected_acks` responses from the actual sharers.
+    Broadcast {
+        /// Number of responses to await.
+        expected_acks: usize,
+    },
+}
+
+impl InvalidationPlan {
+    /// Number of responses the home must collect before proceeding.
+    #[must_use]
+    pub fn expected_acks(&self) -> usize {
+        match self {
+            InvalidationPlan::Unicast(v) => v.len(),
+            InvalidationPlan::Broadcast { expected_acks } => *expected_acks,
+        }
+    }
+}
+
+/// Internal ACKwise representation: exact pointers until overflow, then a
+/// bare count (identities dropped, §3.1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AckWiseState {
+    /// Exact sharer pointers (count <= p).
+    Exact(Vec<CoreId>),
+    /// Sharer count only, after pointer overflow.
+    CountOnly(usize),
+}
+
+/// Sharer-set representation for one directory entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SharerTracker {
+    /// One presence bit per core.
+    FullMap {
+        /// Presence bitmap, one `u64` per 64 cores.
+        bits: Vec<u64>,
+        /// Cached population count.
+        count: usize,
+    },
+    /// ACKwise_p limited pointers.
+    AckWise {
+        /// Pointer budget `p`.
+        pointers: usize,
+        /// Exact pointers, or just a count after overflow.
+        state: AckWiseState,
+    },
+}
+
+impl SharerTracker {
+    /// Creates an empty tracker of the configured kind for `num_cores`.
+    #[must_use]
+    pub fn new(kind: DirectoryKind, num_cores: usize) -> Self {
+        match kind {
+            DirectoryKind::FullMap => {
+                SharerTracker::FullMap { bits: vec![0; num_cores.div_ceil(64)], count: 0 }
+            }
+            DirectoryKind::AckWise { pointers } => {
+                SharerTracker::AckWise { pointers, state: AckWiseState::Exact(Vec::new()) }
+            }
+        }
+    }
+
+    /// Number of sharers (exact in all representations — ACKwise always
+    /// knows the count, just not always the identities).
+    #[must_use]
+    pub fn count(&self) -> usize {
+        match self {
+            SharerTracker::FullMap { count, .. } => *count,
+            SharerTracker::AckWise { state, .. } => match state {
+                AckWiseState::Exact(v) => v.len(),
+                AckWiseState::CountOnly(n) => *n,
+            },
+        }
+    }
+
+    /// `true` when no core holds a private copy.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Whether `core` is a sharer: `Some(bool)` when the representation
+    /// knows, `None` after ACKwise overflow (identities dropped).
+    #[must_use]
+    pub fn contains(&self, core: CoreId) -> Option<bool> {
+        match self {
+            SharerTracker::FullMap { bits, .. } => {
+                Some(bits[core.index() / 64] >> (core.index() % 64) & 1 == 1)
+            }
+            SharerTracker::AckWise { state, .. } => match state {
+                AckWiseState::Exact(v) => Some(v.contains(&core)),
+                AckWiseState::CountOnly(_) => None,
+            },
+        }
+    }
+
+    /// Records that `core` received a private copy.
+    ///
+    /// Adding a core that is already tracked is a no-op for the full map
+    /// and for exact ACKwise pointers; after ACKwise overflow the caller
+    /// must only add genuinely new sharers (the protocol guarantees this:
+    /// a core with a valid copy never re-requests the line).
+    pub fn add(&mut self, core: CoreId) {
+        match self {
+            SharerTracker::FullMap { bits, count } => {
+                let w = core.index() / 64;
+                let m = 1u64 << (core.index() % 64);
+                if bits[w] & m == 0 {
+                    bits[w] |= m;
+                    *count += 1;
+                }
+            }
+            SharerTracker::AckWise { pointers, state } => match state {
+                AckWiseState::Exact(v) => {
+                    if !v.contains(&core) {
+                        if v.len() == *pointers {
+                            // Overflow: drop identities, keep the count.
+                            *state = AckWiseState::CountOnly(v.len() + 1);
+                        } else {
+                            v.push(core);
+                        }
+                    }
+                }
+                AckWiseState::CountOnly(n) => *n += 1,
+            },
+        }
+    }
+
+    /// Records that `core` no longer holds a copy (eviction notify or
+    /// invalidation ack). Returns `true` if the count changed.
+    ///
+    /// After ACKwise overflow the identity is unknown, so any removal
+    /// decrements the count; when it reaches zero the tracker returns to
+    /// exact (empty) mode.
+    pub fn remove(&mut self, core: CoreId) -> bool {
+        match self {
+            SharerTracker::FullMap { bits, count } => {
+                let w = core.index() / 64;
+                let m = 1u64 << (core.index() % 64);
+                if bits[w] & m != 0 {
+                    bits[w] &= !m;
+                    *count -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            SharerTracker::AckWise { state, .. } => match state {
+                AckWiseState::Exact(v) => {
+                    if let Some(i) = v.iter().position(|&c| c == core) {
+                        v.remove(i);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                AckWiseState::CountOnly(n) => {
+                    debug_assert!(*n > 0, "removing sharer from empty overflow set");
+                    *n = n.saturating_sub(1);
+                    if *n == 0 {
+                        *state = AckWiseState::Exact(Vec::new());
+                    }
+                    true
+                }
+            },
+        }
+    }
+
+    /// Clears all sharers (after an invalidation round completes).
+    pub fn clear(&mut self) {
+        match self {
+            SharerTracker::FullMap { bits, count } => {
+                bits.iter_mut().for_each(|b| *b = 0);
+                *count = 0;
+            }
+            SharerTracker::AckWise { state, .. } => *state = AckWiseState::Exact(Vec::new()),
+        }
+    }
+
+    /// Sharer identities, when known exactly.
+    #[must_use]
+    pub fn known_sharers(&self) -> Option<Vec<CoreId>> {
+        match self {
+            SharerTracker::FullMap { bits, .. } => {
+                let mut v = Vec::new();
+                for (w, &word) in bits.iter().enumerate() {
+                    let mut word = word;
+                    while word != 0 {
+                        let b = word.trailing_zeros() as usize;
+                        v.push(CoreId::new(w * 64 + b));
+                        word &= word - 1;
+                    }
+                }
+                Some(v)
+            }
+            SharerTracker::AckWise { state, .. } => match state {
+                AckWiseState::Exact(v) => Some(v.clone()),
+                AckWiseState::CountOnly(_) => None,
+            },
+        }
+    }
+
+    /// How to invalidate every sharer except `skip` (the requester itself
+    /// during an upgrade). Returns `None` when there is nothing to do.
+    #[must_use]
+    pub fn invalidation_plan(&self, skip: Option<CoreId>) -> Option<InvalidationPlan> {
+        match self.known_sharers() {
+            Some(mut v) => {
+                if let Some(s) = skip {
+                    v.retain(|&c| c != s);
+                }
+                if v.is_empty() {
+                    None
+                } else {
+                    Some(InvalidationPlan::Unicast(v))
+                }
+            }
+            None => {
+                // Overflowed ACKwise: broadcast. If the requester itself is
+                // a sharer (upgrade), it must not be awaited — but under
+                // overflow the directory cannot know, so the paper's
+                // protocol invalidates the requester's copy too and the
+                // requester simply re-obtains the line with the grant; the
+                // caller adjusts `expected_acks` via `skip_is_sharer`.
+                let n = self.count();
+                (n > 0).then_some(InvalidationPlan::Broadcast { expected_acks: n })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: usize) -> CoreId {
+        CoreId::new(n)
+    }
+
+    #[test]
+    fn full_map_add_remove() {
+        let mut t = SharerTracker::new(DirectoryKind::FullMap, 128);
+        t.add(c(0));
+        t.add(c(127));
+        t.add(c(127)); // idempotent
+        assert_eq!(t.count(), 2);
+        assert_eq!(t.contains(c(127)), Some(true));
+        assert_eq!(t.contains(c(3)), Some(false));
+        assert!(t.remove(c(127)));
+        assert!(!t.remove(c(127)));
+        assert_eq!(t.count(), 1);
+        assert_eq!(t.known_sharers(), Some(vec![c(0)]));
+    }
+
+    #[test]
+    fn ackwise_exact_until_overflow() {
+        let mut t = SharerTracker::new(DirectoryKind::AckWise { pointers: 2 }, 64);
+        t.add(c(1));
+        t.add(c(2));
+        assert_eq!(t.known_sharers(), Some(vec![c(1), c(2)]));
+        t.add(c(3)); // overflow: identities dropped
+        assert_eq!(t.count(), 3);
+        assert_eq!(t.known_sharers(), None);
+        assert_eq!(t.contains(c(1)), None);
+    }
+
+    #[test]
+    fn ackwise_overflow_recovers_at_zero() {
+        let mut t = SharerTracker::new(DirectoryKind::AckWise { pointers: 1 }, 64);
+        t.add(c(1));
+        t.add(c(2));
+        assert_eq!(t.known_sharers(), None);
+        t.remove(c(1));
+        t.remove(c(2));
+        assert!(t.is_empty());
+        // Back to exact mode.
+        t.add(c(5));
+        assert_eq!(t.known_sharers(), Some(vec![c(5)]));
+    }
+
+    #[test]
+    fn invalidation_plans() {
+        let mut t = SharerTracker::new(DirectoryKind::AckWise { pointers: 4 }, 64);
+        assert_eq!(t.invalidation_plan(None), None);
+        t.add(c(1));
+        t.add(c(2));
+        assert_eq!(
+            t.invalidation_plan(None),
+            Some(InvalidationPlan::Unicast(vec![c(1), c(2)]))
+        );
+        // Skip the requester during an upgrade.
+        assert_eq!(t.invalidation_plan(Some(c(1))), Some(InvalidationPlan::Unicast(vec![c(2)])));
+        assert_eq!(t.invalidation_plan(Some(c(9))).unwrap().expected_acks(), 2);
+        for i in 3..=5 {
+            t.add(c(i));
+        }
+        assert_eq!(
+            t.invalidation_plan(None),
+            Some(InvalidationPlan::Broadcast { expected_acks: 5 })
+        );
+    }
+
+    #[test]
+    fn clear_empties_both_kinds() {
+        for kind in [DirectoryKind::FullMap, DirectoryKind::AckWise { pointers: 1 }] {
+            let mut t = SharerTracker::new(kind, 64);
+            t.add(c(1));
+            t.add(c(2));
+            t.clear();
+            assert!(t.is_empty());
+            assert_eq!(t.known_sharers(), Some(vec![]));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// ACKwise always reports the exact sharer count, matching a
+        /// reference set, no matter how adds and removes interleave — the
+        /// property that makes broadcast-ack collection terminate.
+        #[test]
+        fn ackwise_count_is_exact(
+            ops in proptest::collection::vec((0usize..16, proptest::bool::ANY), 1..100),
+            p in 1usize..6,
+        ) {
+            let mut t = SharerTracker::new(DirectoryKind::AckWise { pointers: p }, 16);
+            let mut model = std::collections::BTreeSet::new();
+            for (core, add) in ops {
+                if add {
+                    if !model.contains(&core) {
+                        model.insert(core);
+                        t.add(CoreId::new(core));
+                    }
+                } else if model.remove(&core) {
+                    t.remove(CoreId::new(core));
+                }
+                prop_assert_eq!(t.count(), model.len());
+            }
+        }
+
+        /// Full map tracks identities exactly.
+        #[test]
+        fn full_map_matches_set(
+            ops in proptest::collection::vec((0usize..80, proptest::bool::ANY), 1..100)
+        ) {
+            let mut t = SharerTracker::new(DirectoryKind::FullMap, 80);
+            let mut model = std::collections::BTreeSet::new();
+            for (core, add) in ops {
+                if add {
+                    model.insert(core);
+                    t.add(CoreId::new(core));
+                } else {
+                    model.remove(&core);
+                    t.remove(CoreId::new(core));
+                }
+            }
+            let known: Vec<usize> =
+                t.known_sharers().unwrap().into_iter().map(|c| c.index()).collect();
+            let expect: Vec<usize> = model.into_iter().collect();
+            prop_assert_eq!(known, expect);
+        }
+    }
+}

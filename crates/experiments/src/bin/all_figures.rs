@@ -1,0 +1,38 @@
+//! Convenience runner: regenerates every table and figure in sequence by
+//! invoking the sibling experiment binaries with the same flags.
+
+use std::process::Command;
+
+const BINS: [&str; 13] = [
+    "tab01_parameters",
+    "tab02_workloads",
+    "tab03_storage",
+    "fig01_02_utilization",
+    "fig08_energy",
+    "fig09_completion",
+    "fig10_missrates",
+    "fig11_pct_sweep",
+    "fig12_rat",
+    "fig13_limitedk",
+    "fig14_oneway",
+    "ext_complete_shortcut",
+    "ext_scalability",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe dir");
+    // ackwise_vs_fullmap is part of the §5 preamble; run it too.
+    for bin in BINS.iter().copied().chain(std::iter::once("ackwise_vs_fullmap")) {
+        println!("\n================================================================");
+        println!("== {bin}");
+        println!("================================================================");
+        let status = Command::new(dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nAll figures and tables regenerated; CSVs in ./results/");
+}

@@ -1,0 +1,301 @@
+//! # lacc-experiments — the figure/table regeneration harness
+//!
+//! One binary per table and figure of the paper's evaluation (§5), all
+//! built on the helpers here: benchmark runners, PCT sweeps, classifier
+//! sweeps, normalization, geometric means and paper-style table printing.
+//! Binaries write a CSV per figure into `./results/` and print the same
+//! series to stdout.
+//!
+//! Common CLI flags (hand-rolled; every binary accepts them):
+//!
+//! * `--scale <f64>` — workload scale factor (default 1.0);
+//! * `--cores <n>` — machine size (default 64, Table 1);
+//! * `--bench <name>` — restrict to one benchmark (repeatable);
+//! * `--quiet` — suppress per-run progress lines.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::Mutex;
+
+use lacc_model::config::{ClassifierConfig, MechanismKind, TrackingKind};
+use lacc_model::SystemConfig;
+use lacc_sim::{SimReport, Simulator};
+use lacc_workloads::Benchmark;
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Number of cores (Table 1: 64).
+    pub cores: usize,
+    /// Benchmark filter (empty = all 21).
+    pub benches: Vec<Benchmark>,
+    /// Suppress progress output.
+    pub quiet: bool,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags or unknown
+    /// benchmark names.
+    #[must_use]
+    pub fn parse() -> Self {
+        let mut cli = Cli { scale: 1.0, cores: 64, benches: Vec::new(), quiet: false };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    cli.scale = args[i].parse().expect("--scale takes a float");
+                }
+                "--cores" => {
+                    i += 1;
+                    cli.cores = args[i].parse().expect("--cores takes an integer");
+                }
+                "--bench" => {
+                    i += 1;
+                    let b = Benchmark::by_name(&args[i])
+                        .unwrap_or_else(|| panic!("unknown benchmark '{}'", args[i]));
+                    cli.benches.push(b);
+                }
+                "--quiet" => cli.quiet = true,
+                other => panic!("unknown flag '{other}' (try --scale/--cores/--bench/--quiet)"),
+            }
+            i += 1;
+        }
+        cli
+    }
+
+    /// The benchmarks to run.
+    #[must_use]
+    pub fn benchmarks(&self) -> Vec<Benchmark> {
+        if self.benches.is_empty() {
+            Benchmark::ALL.to_vec()
+        } else {
+            self.benches.clone()
+        }
+    }
+
+    /// The machine configuration (Table 1 scaled to `cores`).
+    #[must_use]
+    pub fn base_config(&self) -> SystemConfig {
+        if self.cores == 64 {
+            SystemConfig::isca13_64core()
+        } else {
+            let mut cfg = SystemConfig::isca13_64core();
+            cfg.num_cores = self.cores;
+            cfg.num_mem_ctrls = cfg.num_mem_ctrls.min(self.cores);
+            if self.cores % cfg.rnuca_cluster != 0 {
+                cfg.rnuca_cluster = 1;
+            }
+            if let TrackingKind::Limited { k } = cfg.classifier.tracking {
+                cfg.classifier.tracking = TrackingKind::Limited { k: k.min(self.cores) };
+            }
+            cfg
+        }
+    }
+}
+
+/// Runs one benchmark under one configuration.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the run violates coherence.
+#[must_use]
+pub fn run_one(bench: Benchmark, cfg: &SystemConfig, scale: f64) -> SimReport {
+    let w = bench.build(cfg.num_cores, scale);
+    let sim = Simulator::new(cfg.clone(), w).expect("valid experiment configuration");
+    let report = sim.run();
+    assert_eq!(report.monitor.violations, 0, "{}: coherence violated", bench.name());
+    report
+}
+
+/// Runs a set of (label, benchmark, config) jobs across worker threads;
+/// results keyed by `(label, benchmark name)`.
+pub fn run_jobs(
+    jobs: Vec<(String, Benchmark, SystemConfig)>,
+    scale: f64,
+    quiet: bool,
+) -> HashMap<(String, &'static str), SimReport> {
+    let results = Mutex::new(HashMap::new());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(jobs.len().max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (label, bench, cfg) = &jobs[i];
+                let report = run_one(*bench, cfg, scale);
+                if !quiet {
+                    eprintln!("  [{label:>12}] {}", report.summary());
+                }
+                results.lock().unwrap().insert((label.clone(), bench.name()), report);
+            });
+        }
+    });
+    results.into_inner().unwrap()
+}
+
+/// Geometric mean of positive values (1.0 for an empty slice).
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    (values.iter().map(|v| v.max(1e-12).ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Arithmetic mean (the paper plots the *Average* in Figures 8–9).
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Ensures `./results` exists and opens `results/<name>` for writing.
+///
+/// # Panics
+///
+/// Panics on I/O errors (experiments are developer tools).
+#[must_use]
+pub fn open_results_file(name: &str) -> std::fs::File {
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::File::create(format!("results/{name}")).expect("create results file")
+}
+
+/// Writes one CSV row.
+pub fn csv_row(f: &mut std::fs::File, cells: &[String]) {
+    writeln!(f, "{}", cells.join(",")).expect("write csv");
+}
+
+/// A fixed-width table printer for paper-style output.
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    /// Creates a printer with the given column widths.
+    #[must_use]
+    pub fn new(widths: &[usize]) -> Self {
+        Table { widths: widths.to_vec() }
+    }
+
+    /// Prints one row, left-aligning the first column and right-aligning
+    /// the rest.
+    pub fn row(&self, cells: &[String]) {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let w = self.widths.get(i).copied().unwrap_or(10);
+            if i == 0 {
+                line.push_str(&format!("{cell:<w$}"));
+            } else {
+                line.push_str(&format!("{cell:>w$}"));
+            }
+            line.push(' ');
+        }
+        println!("{}", line.trim_end());
+    }
+
+    /// Prints a separator sized to the table.
+    pub fn sep(&self) {
+        let total: usize = self.widths.iter().sum::<usize>() + self.widths.len();
+        println!("{}", "-".repeat(total));
+    }
+}
+
+/// The PCT values of Figures 8 and 9.
+pub const FIG89_PCTS: [u32; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+/// The PCT values of Figure 10.
+pub const FIG10_PCTS: [u32; 6] = [1, 2, 3, 4, 6, 8];
+/// The PCT values of Figure 11.
+pub const FIG11_PCTS: [u32; 14] = [1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 18, 20];
+
+/// Classifier variants of Figure 12, with the paper's labels.
+#[must_use]
+pub fn fig12_variants() -> Vec<(&'static str, ClassifierConfig)> {
+    let base = ClassifierConfig { tracking: TrackingKind::Complete, ..ClassifierConfig::isca13_default() };
+    vec![
+        ("Timestamp", ClassifierConfig { mechanism: MechanismKind::Timestamp, ..base }),
+        ("L-1", ClassifierConfig { mechanism: MechanismKind::RatLevels { levels: 1, rat_max: 16 }, ..base }),
+        ("L-2,T-8", ClassifierConfig { mechanism: MechanismKind::RatLevels { levels: 2, rat_max: 8 }, ..base }),
+        ("L-2,T-16", ClassifierConfig { mechanism: MechanismKind::RatLevels { levels: 2, rat_max: 16 }, ..base }),
+        ("L-4,T-8", ClassifierConfig { mechanism: MechanismKind::RatLevels { levels: 4, rat_max: 8 }, ..base }),
+        ("L-4,T-16", ClassifierConfig { mechanism: MechanismKind::RatLevels { levels: 4, rat_max: 16 }, ..base }),
+        ("L-8,T-16", ClassifierConfig { mechanism: MechanismKind::RatLevels { levels: 8, rat_max: 16 }, ..base }),
+    ]
+}
+
+/// The k values of Figure 13 (`usize::MAX` denotes the Complete
+/// classifier, labeled `Limited-64` in the paper).
+#[must_use]
+pub fn fig13_variants(num_cores: usize) -> Vec<(String, ClassifierConfig)> {
+    let mut v: Vec<(String, ClassifierConfig)> = [1usize, 3, 5, 7]
+        .iter()
+        .map(|&k| {
+            (
+                format!("Limited-{k}"),
+                ClassifierConfig {
+                    tracking: TrackingKind::Limited { k: k.min(num_cores) },
+                    ..ClassifierConfig::isca13_default()
+                },
+            )
+        })
+        .collect();
+    v.push((
+        "Complete".to_string(),
+        ClassifierConfig { tracking: TrackingKind::Complete, ..ClassifierConfig::isca13_default() },
+    ));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identity_is_one() {
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_is_arithmetic() {
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig12_has_paper_labels() {
+        let labels: Vec<&str> = fig12_variants().iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, vec!["Timestamp", "L-1", "L-2,T-8", "L-2,T-16", "L-4,T-8", "L-4,T-16", "L-8,T-16"]);
+    }
+
+    #[test]
+    fn fig13_ends_with_complete() {
+        let v = fig13_variants(64);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.last().unwrap().0, "Complete");
+    }
+
+    #[test]
+    fn small_jobs_run_in_parallel() {
+        let cfg = SystemConfig::small_for_tests(4);
+        let jobs = vec![
+            ("a".to_string(), Benchmark::WaterSp, cfg.clone()),
+            ("b".to_string(), Benchmark::WaterSp, cfg.with_pct(1)),
+        ];
+        let out = run_jobs(jobs, 0.02, true);
+        assert_eq!(out.len(), 2);
+        assert!(out.contains_key(&("a".to_string(), "water-sp")));
+    }
+}

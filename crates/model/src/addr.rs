@@ -1,0 +1,230 @@
+//! Physical address arithmetic.
+//!
+//! The paper's machine uses 48-bit physical addresses, 64-byte cache lines
+//! and 4-KB pages (Table 1 and the Reactive-NUCA placement it builds on).
+//! A [`LineAddr`] is an address shifted right by the line bits; a
+//! [`PageAddr`] is shifted right by the page bits. The newtypes prevent the
+//! classic bug of mixing a byte address with a line number.
+
+use std::fmt;
+
+/// log2 of the cache-line size (64 bytes).
+pub const LINE_SHIFT: u32 = 6;
+/// Cache-line size in bytes (Table 1).
+pub const LINE_BYTES: u64 = 1 << LINE_SHIFT;
+/// log2 of the OS page size used by the R-NUCA classification (4 KB).
+pub const PAGE_SHIFT: u32 = 12;
+/// Page size in bytes.
+pub const PAGE_BYTES: u64 = 1 << PAGE_SHIFT;
+/// Number of 64-bit words in a cache line.
+pub const WORDS_PER_LINE: u64 = LINE_BYTES / 8;
+/// Physical address width in bits (Table 1).
+pub const PHYS_ADDR_BITS: u32 = 48;
+
+/// A 48-bit physical byte address.
+///
+/// # Examples
+///
+/// ```
+/// use lacc_model::Addr;
+/// let a = Addr::new(0x1040);
+/// assert_eq!(a.line().raw(), 0x41);
+/// assert_eq!(a.word_in_line(), 0);
+/// assert_eq!(Addr::new(0x1048).word_in_line(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address, masking it into the 48-bit physical space.
+    #[must_use]
+    pub fn new(byte_addr: u64) -> Self {
+        Addr(byte_addr & ((1 << PHYS_ADDR_BITS) - 1))
+    }
+
+    /// Returns the raw byte address.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache line containing this address.
+    #[must_use]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// Returns the page containing this address.
+    #[must_use]
+    pub fn page(self) -> PageAddr {
+        PageAddr(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Index of the 64-bit word within the cache line (`0..8`).
+    #[must_use]
+    pub fn word_in_line(self) -> usize {
+        ((self.0 >> 3) & (WORDS_PER_LINE - 1)) as usize
+    }
+
+    /// Byte offset within the cache line (`0..64`). This is the "cache line
+    /// offset" that §3.6 notes must be carried in every miss request.
+    #[must_use]
+    pub fn offset_in_line(self) -> usize {
+        (self.0 & (LINE_BYTES - 1)) as usize
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#014x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr::new(v)
+    }
+}
+
+/// A cache-line address (byte address divided by the 64-byte line size).
+///
+/// # Examples
+///
+/// ```
+/// use lacc_model::{Addr, LineAddr};
+/// let l = LineAddr::new(0x41);
+/// assert_eq!(l.base(), Addr::new(0x1040));
+/// assert_eq!(l.word_addr(2), Addr::new(0x1050));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a line number.
+    #[must_use]
+    pub fn new(line_number: u64) -> Self {
+        LineAddr(line_number & ((1 << (PHYS_ADDR_BITS - LINE_SHIFT)) - 1))
+    }
+
+    /// Returns the raw line number.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address of the line.
+    #[must_use]
+    pub fn base(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+
+    /// Byte address of the `word`-th 64-bit word in this line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= 8`.
+    #[must_use]
+    pub fn word_addr(self, word: usize) -> Addr {
+        assert!(word < WORDS_PER_LINE as usize, "word index {word} out of line");
+        Addr((self.0 << LINE_SHIFT) + (word as u64) * 8)
+    }
+
+    /// Returns the page containing this line.
+    #[must_use]
+    pub fn page(self) -> PageAddr {
+        PageAddr(self.0 >> (PAGE_SHIFT - LINE_SHIFT))
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line:{:#x}", self.0)
+    }
+}
+
+/// A page address (byte address divided by the 4-KB page size), the
+/// granularity at which Reactive-NUCA classifies data as private or shared.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct PageAddr(u64);
+
+impl PageAddr {
+    /// Creates a page address from a page number.
+    #[must_use]
+    pub fn new(page_number: u64) -> Self {
+        PageAddr(page_number & ((1 << (PHYS_ADDR_BITS - PAGE_SHIFT)) - 1))
+    }
+
+    /// Returns the raw page number.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address of the page.
+    #[must_use]
+    pub fn base(self) -> Addr {
+        Addr(self.0 << PAGE_SHIFT)
+    }
+}
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_page_extraction() {
+        let a = Addr::new(0x0001_2345_6789);
+        assert_eq!(a.line().raw(), 0x0001_2345_6789 >> 6);
+        assert_eq!(a.page().raw(), 0x0001_2345_6789 >> 12);
+        assert_eq!(a.line().page(), a.page());
+    }
+
+    #[test]
+    fn word_index_covers_line() {
+        let base = LineAddr::new(10).base().raw();
+        for w in 0..8 {
+            assert_eq!(Addr::new(base + w * 8).word_in_line(), w as usize);
+        }
+    }
+
+    #[test]
+    fn addr_masks_to_48_bits() {
+        assert_eq!(Addr::new(u64::MAX).raw(), (1 << 48) - 1);
+    }
+
+    #[test]
+    fn line_base_roundtrip() {
+        let l = LineAddr::new(0xdead);
+        assert_eq!(l.base().line(), l);
+    }
+
+    #[test]
+    fn offset_in_line() {
+        assert_eq!(Addr::new(0x1043).offset_in_line(), 3);
+        assert_eq!(Addr::new(0x1040).offset_in_line(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of line")]
+    fn word_addr_bounds() {
+        let _ = LineAddr::new(1).word_addr(8);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(LineAddr::new(0x41).to_string(), "line:0x41");
+        assert_eq!(PageAddr::new(0x2).to_string(), "page:0x2");
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types for configuration validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid architectural configuration.
+///
+/// Returned by [`crate::config::SystemConfig::validate`]; the message names
+/// the first violated constraint.
+///
+/// # Examples
+///
+/// ```
+/// use lacc_model::config::SystemConfig;
+/// let mut cfg = SystemConfig::isca13_64core();
+/// cfg.num_cores = 0;
+/// let err = cfg.validate().unwrap_err();
+/// assert!(err.to_string().contains("num_cores"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given description.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError { message: message.into() }
+    }
+
+    /// The human-readable description of the violated constraint.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ConfigError::new("pct must be at least 1");
+        assert_eq!(e.to_string(), "invalid configuration: pct must be at least 1");
+        assert_eq!(e.message(), "pct must be at least 1");
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(ConfigError::new("x"));
+    }
+}

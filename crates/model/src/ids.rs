@@ -1,0 +1,126 @@
+//! Strongly-typed identifiers for cores, tiles and memory controllers.
+//!
+//! The evaluated machine is a *tiled* multicore: each tile contains one core,
+//! its private L1 caches, one slice of the shared L2 with its integrated
+//! directory, and one mesh router. Because the mapping is 1:1, a [`CoreId`]
+//! doubles as the tile identifier throughout the workspace.
+
+use std::fmt;
+
+/// Identifier of a core (equivalently, of its tile) in the range
+/// `0..num_cores`.
+///
+/// # Examples
+///
+/// ```
+/// use lacc_model::CoreId;
+/// let c = CoreId::new(7);
+/// assert_eq!(c.index(), 7);
+/// assert_eq!(format!("{c}"), "core7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct CoreId(u16);
+
+impl CoreId {
+    /// Creates a core identifier from a zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in 16 bits (the paper's largest
+    /// configuration is 1024 cores).
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        assert!(index <= u16::MAX as usize, "core index {index} out of range");
+        CoreId(index as u16)
+    }
+
+    /// Returns the zero-based index of this core.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl From<u16> for CoreId {
+    fn from(v: u16) -> Self {
+        CoreId(v)
+    }
+}
+
+/// Identifier of an on-chip memory controller (Table 1: eight controllers).
+///
+/// # Examples
+///
+/// ```
+/// use lacc_model::MemCtrlId;
+/// let m = MemCtrlId::new(3);
+/// assert_eq!(m.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct MemCtrlId(u8);
+
+impl MemCtrlId {
+    /// Creates a memory-controller identifier from a zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in 8 bits.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        assert!(index <= u8::MAX as usize, "memctrl index {index} out of range");
+        MemCtrlId(index as u8)
+    }
+
+    /// Returns the zero-based index of this controller.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MemCtrlId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "memctrl{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_id_roundtrip() {
+        for i in [0usize, 1, 63, 1023] {
+            assert_eq!(CoreId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn core_id_ordering_follows_index() {
+        assert!(CoreId::new(3) < CoreId::new(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn core_id_rejects_huge_index() {
+        let _ = CoreId::new(1 << 20);
+    }
+
+    #[test]
+    fn memctrl_display() {
+        assert_eq!(MemCtrlId::new(5).to_string(), "memctrl5");
+    }
+
+    #[test]
+    fn ids_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreId>();
+        assert_send_sync::<MemCtrlId>();
+    }
+}

@@ -1,0 +1,500 @@
+//! Statistics containers shared by the simulator and the experiment harness.
+//!
+//! These mirror the paper's evaluation metrics (§4.4): the completion-time
+//! breakdown plotted in Figure 9, the energy breakdown of Figure 8, the
+//! five-way cache-miss classification of Figure 10, and the utilization
+//! histograms behind the motivation Figures 1 and 2.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+use crate::time::Cycle;
+
+/// The completion-time components of §4.4 / Figure 9, in cycles.
+///
+/// `compute` covers pipeline execution including 1-cycle L1 hits;
+/// `l1_to_l2` is the round trip from an L1 miss to the home L2 slice
+/// including the first L2 access; `l2_waiting` is the queueing delay from
+/// serializing requests to the same line; `l2_to_sharers` is the
+/// invalidation / synchronous-write-back round trip; `l2_to_offchip` is DRAM
+/// time; `synchronization` is time blocked on barriers and locks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CompletionBreakdown {
+    /// Compute pipeline cycles (includes L1 hit cycles).
+    pub compute: Cycle,
+    /// L1-cache-to-L2-cache latency component.
+    pub l1_to_l2: Cycle,
+    /// L2-cache waiting time (per-line serialization queueing).
+    pub l2_waiting: Cycle,
+    /// L2-cache-to-sharers latency (invalidations, synchronous write-backs).
+    pub l2_to_sharers: Cycle,
+    /// L2-cache-to-off-chip-memory latency.
+    pub l2_to_offchip: Cycle,
+    /// Synchronization latency (barriers, locks).
+    pub synchronization: Cycle,
+}
+
+impl CompletionBreakdown {
+    /// Sum of all components: the completion time this core observed.
+    #[must_use]
+    pub fn total(&self) -> Cycle {
+        self.compute
+            + self.l1_to_l2
+            + self.l2_waiting
+            + self.l2_to_sharers
+            + self.l2_to_offchip
+            + self.synchronization
+    }
+
+    /// Component values in Figure 9's stacking order, paired with labels.
+    #[must_use]
+    pub fn components(&self) -> [(&'static str, Cycle); 6] {
+        [
+            ("Compute", self.compute),
+            ("L1Cache-L2Cache", self.l1_to_l2),
+            ("L2Cache-Waiting", self.l2_waiting),
+            ("L2Cache-Sharers", self.l2_to_sharers),
+            ("L2Cache-OffChip", self.l2_to_offchip),
+            ("Synchronization", self.synchronization),
+        ]
+    }
+}
+
+impl Add for CompletionBreakdown {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        CompletionBreakdown {
+            compute: self.compute + rhs.compute,
+            l1_to_l2: self.l1_to_l2 + rhs.l1_to_l2,
+            l2_waiting: self.l2_waiting + rhs.l2_waiting,
+            l2_to_sharers: self.l2_to_sharers + rhs.l2_to_sharers,
+            l2_to_offchip: self.l2_to_offchip + rhs.l2_to_offchip,
+            synchronization: self.synchronization + rhs.synchronization,
+        }
+    }
+}
+
+impl AddAssign for CompletionBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for CompletionBreakdown {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), Add::add)
+    }
+}
+
+impl fmt::Display for CompletionBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = self.total().max(1) as f64;
+        for (i, (name, v)) in self.components().iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{name}={v} ({:.1}%)", 100.0 * *v as f64 / t)?;
+        }
+        Ok(())
+    }
+}
+
+/// The dynamic-energy components of Figure 8, in picojoules.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct EnergyBreakdown {
+    /// L1 instruction cache energy.
+    pub l1i: f64,
+    /// L1 data cache energy.
+    pub l1d: f64,
+    /// Shared L2 cache energy (word and line accesses).
+    pub l2: f64,
+    /// Coherence directory energy (integrated in the L2 tag arrays).
+    pub directory: f64,
+    /// Network router energy.
+    pub router: f64,
+    /// Network link energy.
+    pub link: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total dynamic energy in picojoules.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.l1i + self.l1d + self.l2 + self.directory + self.router + self.link
+    }
+
+    /// Component values in Figure 8's stacking order, paired with labels.
+    #[must_use]
+    pub fn components(&self) -> [(&'static str, f64); 6] {
+        [
+            ("L1-I Cache", self.l1i),
+            ("L1-D Cache", self.l1d),
+            ("L2 Cache", self.l2),
+            ("Directory", self.directory),
+            ("Network Router", self.router),
+            ("Network Link", self.link),
+        ]
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        EnergyBreakdown {
+            l1i: self.l1i + rhs.l1i,
+            l1d: self.l1d + rhs.l1d,
+            l2: self.l2 + rhs.l2,
+            directory: self.directory + rhs.directory,
+            router: self.router + rhs.router,
+            link: self.link + rhs.link,
+        }
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), Add::add)
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = self.total().max(f64::MIN_POSITIVE);
+        for (i, (name, v)) in self.components().iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{name}={v:.0}pJ ({:.1}%)", 100.0 * v / t)?;
+        }
+        Ok(())
+    }
+}
+
+/// The five cache-miss types of §4.4 (Figure 10's stacking).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MissClass {
+    /// Line never previously brought into this cache.
+    Cold,
+    /// Line previously brought in but evicted to make room.
+    Capacity,
+    /// Exclusive request for a line held in read-only state.
+    Upgrade,
+    /// Line previously invalidated or downgraded by another core's request.
+    Sharing,
+    /// Line previously accessed remotely at the shared L2 (new in this
+    /// protocol: the miss is served as a word access without L1 allocation).
+    Word,
+}
+
+impl MissClass {
+    /// All miss classes in Figure 10's stacking order.
+    pub const ALL: [MissClass; 5] =
+        [MissClass::Cold, MissClass::Capacity, MissClass::Upgrade, MissClass::Sharing, MissClass::Word];
+
+    /// Stable index of this class into arrays of five counters.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            MissClass::Cold => 0,
+            MissClass::Capacity => 1,
+            MissClass::Upgrade => 2,
+            MissClass::Sharing => 3,
+            MissClass::Word => 4,
+        }
+    }
+
+    /// The label used in Figure 10.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MissClass::Cold => "Cold",
+            MissClass::Capacity => "Capacity",
+            MissClass::Upgrade => "Upgrade",
+            MissClass::Sharing => "Sharing",
+            MissClass::Word => "Word",
+        }
+    }
+}
+
+impl fmt::Display for MissClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Hit/miss counters with the five-way miss classification of Figure 10.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MissStats {
+    /// Accesses that hit in the cache.
+    pub hits: u64,
+    /// Misses, indexed by [`MissClass::index`].
+    pub misses: [u64; 5],
+}
+
+impl MissStats {
+    /// Records one hit.
+    pub fn record_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records one miss of the given class.
+    pub fn record_miss(&mut self, class: MissClass) {
+        self.misses[class.index()] += 1;
+    }
+
+    /// Total misses across all classes.
+    #[must_use]
+    pub fn total_misses(&self) -> u64 {
+        self.misses.iter().sum()
+    }
+
+    /// Total accesses (hits plus misses).
+    #[must_use]
+    pub fn total_accesses(&self) -> u64 {
+        self.hits + self.total_misses()
+    }
+
+    /// Miss rate in `[0, 1]`; zero when there were no accesses.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_misses() as f64 / total as f64
+        }
+    }
+
+    /// Miss count for one class.
+    #[must_use]
+    pub fn of(&self, class: MissClass) -> u64 {
+        self.misses[class.index()]
+    }
+}
+
+impl Add for MissStats {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        let mut misses = [0u64; 5];
+        for i in 0..5 {
+            misses[i] = self.misses[i] + rhs.misses[i];
+        }
+        MissStats { hits: self.hits + rhs.hits, misses }
+    }
+}
+
+impl AddAssign for MissStats {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for MissStats {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), Add::add)
+    }
+}
+
+/// Histogram over the utilization bins of Figures 1 and 2:
+/// `{1, 2-3, 4-5, 6-7, >=8}` accesses per private-cache residency.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct UtilizationHistogram {
+    bins: [u64; 5],
+}
+
+impl UtilizationHistogram {
+    /// The bin labels used by Figures 1 and 2.
+    pub const LABELS: [&'static str; 5] = ["1", "2,3", "4,5", "6,7", ">=8"];
+
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one eviction/invalidation whose line had the given
+    /// utilization. A utilization of zero is clamped into the first bin
+    /// (it can occur when a line is invalidated before its first use).
+    pub fn record(&mut self, utilization: u32) {
+        let idx = match utilization {
+            0 | 1 => 0,
+            2 | 3 => 1,
+            4 | 5 => 2,
+            6 | 7 => 3,
+            _ => 4,
+        };
+        self.bins[idx] += 1;
+    }
+
+    /// Raw bin counts in label order.
+    #[must_use]
+    pub fn bins(&self) -> [u64; 5] {
+        self.bins
+    }
+
+    /// Total recorded events.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Bin shares in `[0, 1]`, in label order; all zero when empty.
+    #[must_use]
+    pub fn fractions(&self) -> [f64; 5] {
+        let t = self.total();
+        if t == 0 {
+            return [0.0; 5];
+        }
+        let mut out = [0.0; 5];
+        for (o, b) in out.iter_mut().zip(self.bins.iter()) {
+            *o = *b as f64 / t as f64;
+        }
+        out
+    }
+
+    /// Fraction of events with utilization strictly below `pct`
+    /// (e.g. the paper's "80% of invalidated lines have utilization < 4"
+    /// observation for streamcluster uses `below(4)`).
+    #[must_use]
+    pub fn below(&self, pct: u32) -> f64 {
+        // Bins are coarse; this is exact only for pct in {2, 4, 6, 8}, which
+        // covers the sweep the paper reports.
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        let upto = match pct {
+            0 | 1 => 0,
+            2 | 3 => 1,
+            4 | 5 => 2,
+            6 | 7 => 3,
+            _ => 4,
+        };
+        let s: u64 = self.bins[..upto].iter().sum();
+        s as f64 / t as f64
+    }
+}
+
+impl AddAssign for UtilizationHistogram {
+    fn add_assign(&mut self, rhs: Self) {
+        for i in 0..5 {
+            self.bins[i] += rhs.bins[i];
+        }
+    }
+}
+
+/// Where the home tile spent time while serving one request; piggybacked on
+/// the reply so the requesting core can attribute its stall cycles to the
+/// Figure 9 components.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LatencyAnnotation {
+    /// Cycles the request waited in the home's per-line serialization queue.
+    pub waiting: Cycle,
+    /// Cycles spent invalidating sharers / fetching synchronous write-backs.
+    pub sharers: Cycle,
+    /// Cycles spent on the off-chip DRAM round trip.
+    pub offchip: Cycle,
+}
+
+impl Add for LatencyAnnotation {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        LatencyAnnotation {
+            waiting: self.waiting + rhs.waiting,
+            sharers: self.sharers + rhs.sharers,
+            offchip: self.offchip + rhs.offchip,
+        }
+    }
+}
+
+impl AddAssign for LatencyAnnotation {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_breakdown_total_and_sum() {
+        let a = CompletionBreakdown { compute: 10, l1_to_l2: 5, ..Default::default() };
+        let b = CompletionBreakdown { l2_waiting: 3, synchronization: 2, ..Default::default() };
+        let s: CompletionBreakdown = [a, b].into_iter().sum();
+        assert_eq!(s.total(), 20);
+        assert_eq!(s.compute, 10);
+        assert_eq!(s.l2_waiting, 3);
+    }
+
+    #[test]
+    fn energy_breakdown_total() {
+        let e = EnergyBreakdown { l1i: 1.0, l1d: 2.0, l2: 3.0, directory: 0.5, router: 1.5, link: 2.0 };
+        assert!((e.total() - 10.0).abs() < 1e-12);
+        let d = e + e;
+        assert!((d.total() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_class_indices_are_stable() {
+        for (i, c) in MissClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn miss_stats_rates() {
+        let mut m = MissStats::default();
+        for _ in 0..98 {
+            m.record_hit();
+        }
+        m.record_miss(MissClass::Cold);
+        m.record_miss(MissClass::Word);
+        assert_eq!(m.total_accesses(), 100);
+        assert!((m.miss_rate() - 0.02).abs() < 1e-12);
+        assert_eq!(m.of(MissClass::Word), 1);
+        assert_eq!(m.of(MissClass::Sharing), 0);
+    }
+
+    #[test]
+    fn miss_rate_of_empty_stats_is_zero() {
+        assert_eq!(MissStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn utilization_histogram_binning() {
+        let mut h = UtilizationHistogram::new();
+        for u in [0, 1, 2, 3, 4, 5, 6, 7, 8, 100] {
+            h.record(u);
+        }
+        assert_eq!(h.bins(), [2, 2, 2, 2, 2]);
+        assert_eq!(h.total(), 10);
+        // Fraction with utilization < 4: bins {0-1, 2-3} = 4 of 10.
+        assert!((h.below(4) - 0.4).abs() < 1e-12);
+        let f = h.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_annotation_adds() {
+        let a = LatencyAnnotation { waiting: 1, sharers: 2, offchip: 3 };
+        let b = a + a;
+        assert_eq!(b.waiting, 2);
+        assert_eq!(b.sharers, 4);
+        assert_eq!(b.offchip, 6);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!CompletionBreakdown::default().to_string().is_empty());
+        assert!(!EnergyBreakdown::default().to_string().is_empty());
+        assert_eq!(MissClass::Word.to_string(), "Word");
+    }
+}

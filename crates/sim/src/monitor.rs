@@ -1,0 +1,164 @@
+//! The coherence monitor: a functional-correctness oracle.
+//!
+//! Graphite "requires the memory system (including the cache hierarchy) to
+//! be functionally correct to complete simulation", which the paper calls
+//! "a good test that all our cache coherence protocols are working
+//! correctly" (§4.1). This monitor is the equivalent for our simulator and
+//! is stronger: it maintains a shadow copy of memory updated at every write
+//! *serialization point* and asserts that **every read returns exactly the
+//! shadow value**.
+//!
+//! Why that assertion is sound for an invalidation-based SWMR protocol, in
+//! event-processing order: a write serializes only after every private copy
+//! is invalidated, so while any private copy is readable its content equals
+//! the shadow; remote (word) reads execute at the L2 at the serialization
+//! point itself. Any stale read — a missed invalidation, a lost write-back,
+//! a wrong merge — breaks the equality immediately.
+
+use std::collections::HashMap;
+
+use lacc_model::{CoreId, LineAddr};
+
+/// Statistics and failure record of the monitor.
+#[derive(Clone, Debug, Default)]
+pub struct MonitorReport {
+    /// Reads checked.
+    pub reads_checked: u64,
+    /// Writes recorded.
+    pub writes_recorded: u64,
+    /// Description of the first violation, if any.
+    pub first_violation: Option<String>,
+    /// Total violations.
+    pub violations: u64,
+}
+
+/// Shadow-memory coherence checker.
+#[derive(Clone, Debug)]
+pub struct CoherenceMonitor {
+    shadow: HashMap<(LineAddr, u8), u64>,
+    enabled: bool,
+    panic_on_violation: bool,
+    report: MonitorReport,
+}
+
+impl CoherenceMonitor {
+    /// Creates a monitor; `panic_on_violation` makes any violation a test
+    /// failure (used by the test suite), otherwise violations are counted
+    /// and reported.
+    #[must_use]
+    pub fn new(enabled: bool, panic_on_violation: bool) -> Self {
+        CoherenceMonitor {
+            shadow: HashMap::new(),
+            enabled,
+            panic_on_violation,
+            report: MonitorReport::default(),
+        }
+    }
+
+    /// Records a serialized write of `value` to `word` of `line`.
+    pub fn on_write(&mut self, _core: CoreId, line: LineAddr, word: usize, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.report.writes_recorded += 1;
+        self.shadow.insert((line, word as u8), value);
+    }
+
+    /// Checks a read of `word` of `line` that returned `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a violation when constructed with `panic_on_violation`.
+    pub fn on_read(&mut self, core: CoreId, line: LineAddr, word: usize, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.report.reads_checked += 1;
+        let expected = self.shadow.get(&(line, word as u8)).copied().unwrap_or(0);
+        if value != expected {
+            self.report.violations += 1;
+            let msg = format!(
+                "coherence violation: {core} read {line} word {word}: got {value:#x}, expected {expected:#x}"
+            );
+            if self.report.first_violation.is_none() {
+                self.report.first_violation = Some(msg.clone());
+            }
+            assert!(!self.panic_on_violation, "{msg}");
+        }
+    }
+
+    /// The accumulated report.
+    #[must_use]
+    pub fn report(&self) -> &MonitorReport {
+        &self.report
+    }
+
+    /// `true` when no violation was observed.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.report.violations == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn reads_of_untouched_memory_expect_zero() {
+        let mut m = CoherenceMonitor::new(true, true);
+        m.on_read(CoreId::new(0), l(5), 3, 0);
+        assert!(m.clean());
+        assert_eq!(m.report().reads_checked, 1);
+    }
+
+    #[test]
+    fn write_then_read_matches() {
+        let mut m = CoherenceMonitor::new(true, true);
+        m.on_write(CoreId::new(1), l(5), 3, 0xabc);
+        m.on_read(CoreId::new(2), l(5), 3, 0xabc);
+        assert!(m.clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "coherence violation")]
+    fn stale_read_panics() {
+        let mut m = CoherenceMonitor::new(true, true);
+        m.on_write(CoreId::new(1), l(5), 3, 1);
+        m.on_write(CoreId::new(1), l(5), 3, 2);
+        m.on_read(CoreId::new(2), l(5), 3, 1);
+    }
+
+    #[test]
+    fn non_panicking_mode_counts_violations() {
+        let mut m = CoherenceMonitor::new(true, false);
+        m.on_write(CoreId::new(0), l(1), 0, 7);
+        m.on_read(CoreId::new(0), l(1), 0, 8);
+        m.on_read(CoreId::new(0), l(1), 0, 9);
+        assert_eq!(m.report().violations, 2);
+        assert!(m.report().first_violation.as_deref().unwrap().contains("expected 0x7"));
+        assert!(!m.clean());
+    }
+
+    #[test]
+    fn disabled_monitor_is_free() {
+        let mut m = CoherenceMonitor::new(false, true);
+        m.on_write(CoreId::new(0), l(1), 0, 7);
+        m.on_read(CoreId::new(0), l(1), 0, 999);
+        assert!(m.clean());
+        assert_eq!(m.report().reads_checked, 0);
+    }
+
+    #[test]
+    fn words_are_independent() {
+        let mut m = CoherenceMonitor::new(true, true);
+        m.on_write(CoreId::new(0), l(1), 0, 7);
+        m.on_read(CoreId::new(0), l(1), 1, 0);
+        m.on_read(CoreId::new(0), l(1), 0, 7);
+        assert!(m.clean());
+    }
+}

@@ -1,0 +1,201 @@
+//! Protocol messages exchanged over the mesh.
+//!
+//! Flit sizing follows Table 1 and §3.6: 64-bit flits, a 1-flit header
+//! (source, destination, address, type — with room for the line offset, a
+//! 1-bit access-width indicator and the 2-bit utilization counter), 1 extra
+//! flit per 64-bit data word, 8 extra flits for a full cache line.
+
+use lacc_cache::LineData;
+use lacc_core::classifier::RequestHints;
+use lacc_core::mesi::MesiState;
+use lacc_model::{CoreId, Cycle, LatencyAnnotation, LineAddr};
+
+/// Message payloads. `ann` fields carry the home's latency attribution
+/// back to the requester (§4.4 breakdown).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Payload {
+    /// L1 read miss → home. Header-only (offset + hints ride the header).
+    ReadReq {
+        /// Set-pressure hints (§3.2–3.3).
+        hints: RequestHints,
+        /// Which word missed (for a possible word reply).
+        word: usize,
+        /// Instruction fetch (always-private class).
+        instr: bool,
+    },
+    /// L1 write miss / upgrade → home. Carries the word to be written
+    /// because the requester cannot know whether it is a remote sharer.
+    WriteReq {
+        /// Set-pressure hints.
+        hints: RequestHints,
+        /// Word index within the line.
+        word: usize,
+        /// The 64-bit value to write.
+        value: u64,
+    },
+    /// Home → requester: a whole-line grant.
+    GrantLine {
+        /// MESI state granted (S, E or M).
+        mesi: MesiState,
+        /// Line content.
+        data: LineData,
+        /// Latency attribution.
+        ann: LatencyAnnotation,
+    },
+    /// Home → requester: write permission for a line already held in S.
+    GrantUpgrade {
+        /// Latency attribution.
+        ann: LatencyAnnotation,
+    },
+    /// Home → requester: remote word-read reply.
+    WordReadReply {
+        /// The word value.
+        value: u64,
+        /// Latency attribution.
+        ann: LatencyAnnotation,
+    },
+    /// Home → requester: remote word-write acknowledgement.
+    WordWriteAck {
+        /// Latency attribution.
+        ann: LatencyAnnotation,
+    },
+    /// Home → sharer: invalidate your copy. `back` marks inclusive-L2
+    /// back-invalidations (classified as capacity, not sharing).
+    Inv {
+        /// `true` for back-invalidations.
+        back: bool,
+    },
+    /// Sharer → home: invalidation ack with the final private utilization
+    /// (§3.2); dirty acks carry the line.
+    InvAck {
+        /// Final private utilization of the invalidated copy.
+        util: u32,
+        /// Whether the copy was Modified.
+        dirty: bool,
+        /// Line content (meaningful when `dirty`).
+        data: LineData,
+        /// Response to a back-invalidation.
+        back: bool,
+    },
+    /// Home → exclusive owner: supply your copy and downgrade to S.
+    WbReq,
+    /// Owner → home: synchronous write-back data.
+    WbData {
+        /// Whether the copy was Modified.
+        dirty: bool,
+        /// Line content.
+        data: LineData,
+    },
+    /// Owner → home: copy already gone (the eviction notify, ordered
+    /// ahead of this message, carries the data).
+    WbNack,
+    /// L1 → home: a line was evicted; carries the utilization counter and,
+    /// if dirty, the data (§3.2 "Evictions and Invalidations").
+    EvictNotify {
+        /// Final private utilization.
+        util: u32,
+        /// Whether the copy was Modified.
+        dirty: bool,
+        /// Line content (meaningful when `dirty`).
+        data: LineData,
+    },
+    /// Home → memory-controller tile: fetch a line from DRAM.
+    DramFetch,
+    /// Memory-controller tile → home: the fetched line.
+    DramData {
+        /// Line content from DRAM.
+        data: LineData,
+    },
+    /// Home → memory-controller tile: write back a dirty line.
+    DramWriteBack {
+        /// Line content to store.
+        data: LineData,
+    },
+}
+
+impl Payload {
+    /// Message size in flits (Table 1 / §3.6).
+    #[must_use]
+    pub fn flits(&self) -> usize {
+        match self {
+            // Header-only messages.
+            Payload::ReadReq { .. }
+            | Payload::GrantUpgrade { .. }
+            | Payload::WordWriteAck { .. }
+            | Payload::Inv { .. }
+            | Payload::WbReq
+            | Payload::WbNack
+            | Payload::DramFetch => 1,
+            // Header + one word.
+            Payload::WriteReq { .. } | Payload::WordReadReply { .. } => 2,
+            // Header + full line.
+            Payload::GrantLine { .. }
+            | Payload::WbData { .. }
+            | Payload::DramData { .. }
+            | Payload::DramWriteBack { .. } => 9,
+            // Header only when clean; header + line when dirty.
+            Payload::InvAck { dirty, .. } | Payload::EvictNotify { dirty, .. } => {
+                if *dirty {
+                    9
+                } else {
+                    1
+                }
+            }
+        }
+    }
+}
+
+/// A message in flight (or queued at its destination).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Message {
+    /// Sending tile.
+    pub src: CoreId,
+    /// Destination tile.
+    pub dst: CoreId,
+    /// The cache line concerned.
+    pub line: LineAddr,
+    /// Payload.
+    pub payload: Payload,
+    /// Cycle at which the message was injected.
+    pub sent: Cycle,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_sizes_match_table1() {
+        let h = RequestHints::default();
+        assert_eq!(Payload::ReadReq { hints: h, word: 0, instr: false }.flits(), 1);
+        assert_eq!(Payload::WriteReq { hints: h, word: 0, value: 0 }.flits(), 2);
+        assert_eq!(
+            Payload::GrantLine {
+                mesi: MesiState::Shared,
+                data: LineData::zeroed(),
+                ann: LatencyAnnotation::default()
+            }
+            .flits(),
+            9,
+            "header + 8 data flits for a 64-byte line"
+        );
+        assert_eq!(Payload::WordReadReply { value: 0, ann: LatencyAnnotation::default() }.flits(), 2);
+        assert_eq!(Payload::Inv { back: false }.flits(), 1);
+        // §3.6: the utilization counter rides the header — a clean ack or
+        // notify is a single flit.
+        assert_eq!(
+            Payload::InvAck { util: 3, dirty: false, data: LineData::zeroed(), back: false }.flits(),
+            1
+        );
+        assert_eq!(
+            Payload::InvAck { util: 3, dirty: true, data: LineData::zeroed(), back: false }.flits(),
+            9
+        );
+        assert_eq!(
+            Payload::EvictNotify { util: 1, dirty: false, data: LineData::zeroed() }.flits(),
+            1
+        );
+        assert_eq!(Payload::DramFetch.flits(), 1);
+        assert_eq!(Payload::DramData { data: LineData::zeroed() }.flits(), 9);
+    }
+}

@@ -1,0 +1,1282 @@
+//! The discrete-event multicore simulator.
+//!
+//! One [`Simulator`] models the full Table-1 machine: in-order cores
+//! executing traces, private L1s, distributed shared L2 slices with
+//! integrated directories running the locality-aware protocol, the 2-D
+//! mesh, and DRAM controllers. Methodology follows Graphite (§4.1):
+//! functional execution with analytical timing, laxly synchronized core
+//! clocks, and event-ordered interactions through the network.
+//!
+//! Key structural choices (see DESIGN.md §4 for the protocol walk-through):
+//!
+//! * **Per-line home serialization**: requests to a busy line queue at the
+//!   home tile; queueing time becomes the *L2 cache waiting time* component.
+//! * **Blocking cores**: one outstanding miss per core (in-order,
+//!   single-issue), which bounds protocol concurrency exactly as in the
+//!   evaluated machine.
+//! * **FIFO delivery per (src, dst)**: models wormhole XY links and is what
+//!   makes eviction-notify/invalidation races resolvable without NACK
+//!   retry loops.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use lacc_cache::{LineData, SetAssocCache};
+use lacc_core::classifier::{RemovalReason, RequestHints, SharerMode};
+use lacc_core::home::{AccessKind, DirectoryEntry, Grant, HomeDecision, HomeRequest};
+use lacc_core::l1::{L1Cache, StoreOutcome};
+use lacc_core::mesi::MesiState;
+use lacc_core::miss_class::MissClassifier;
+use lacc_core::rnuca::{RegionClass, Rnuca};
+use lacc_dram::DramSystem;
+use lacc_energy::{EnergyCounts, EnergyParams};
+use lacc_model::{
+    CompletionBreakdown, ConfigError, CoreId, Cycle, LatencyAnnotation, LineAddr, MissStats,
+    SystemConfig, UtilizationHistogram,
+};
+use lacc_network::MeshNetwork;
+
+use crate::monitor::CoherenceMonitor;
+use crate::msg::{Message, Payload};
+use crate::report::{ProtocolStats, SimReport};
+use crate::sync::{SyncManager, SyncOutcome};
+use crate::trace::{TraceOp, TraceSource, Workload};
+
+const INSTR_PER_LINE: u64 = 8; // 64-byte line / 8-byte instruction
+const INSTALL_RETRY_CYCLES: Cycle = 32;
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Event {
+    /// (Re)start executing a core's trace at the event time.
+    CoreStep(usize),
+    /// A message arrives at its destination tile.
+    Deliver(Message),
+    /// The home's L2 tag/data access for a queued transaction completes.
+    HomeLookup { tile: usize, line: LineAddr },
+}
+
+struct OrderedEvent {
+    at: Cycle,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for OrderedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for OrderedEvent {}
+impl PartialOrd for OrderedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-core state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Blocked {
+    No,
+    IFetch,
+    Data,
+    Sync,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Outstanding {
+    line: LineAddr,
+    word: usize,
+    is_store: bool,
+    value: u64,
+    issue_time: Cycle,
+    instr: bool,
+}
+
+struct CoreState {
+    trace: Option<Box<dyn TraceSource>>,
+    clock: Cycle,
+    finished: bool,
+    breakdown: CompletionBreakdown,
+    miss_class: MissClassifier,
+    l1d_stats: MissStats,
+    l1i_stats: MissStats,
+    pending_compute: u32,
+    replay: Option<TraceOp>,
+    replay_ifetched: bool,
+    blocked: Blocked,
+    instr_pos: u64,
+    instructions: u64,
+    outstanding: Option<Outstanding>,
+}
+
+// ---------------------------------------------------------------------------
+// Per-tile state (home side)
+// ---------------------------------------------------------------------------
+
+struct L2Line {
+    dirty: bool,
+    data: LineData,
+    entry: DirectoryEntry,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+enum Awaiting {
+    Set(Vec<CoreId>),
+    Count(usize),
+}
+
+impl Awaiting {
+    fn note_response(&mut self, core: CoreId) -> bool {
+        match self {
+            Awaiting::Set(v) => {
+                if let Some(i) = v.iter().position(|&c| c == core) {
+                    v.remove(i);
+                    true
+                } else {
+                    false
+                }
+            }
+            Awaiting::Count(n) => {
+                if *n > 0 {
+                    *n -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        match self {
+            Awaiting::Set(v) => v.is_empty(),
+            Awaiting::Count(n) => *n == 0,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Lookup,
+    AwaitDram,
+    Installing,
+    AwaitWb,
+    AwaitAcks,
+}
+
+struct RequestTxn {
+    requester: CoreId,
+    kind: AccessKind,
+    hints: RequestHints,
+    word: usize,
+    value: u64,
+    instr: bool,
+    wait: Cycle,
+    offchip: Cycle,
+    sharers_lat: Cycle,
+    phase: Phase,
+    phase_start: Cycle,
+    decision: Option<HomeDecision>,
+    awaiting: Awaiting,
+}
+
+struct EvictTxn {
+    entry: DirectoryEntry,
+    data: LineData,
+    dirty: bool,
+    awaiting: Awaiting,
+}
+
+enum HomeTxn {
+    Request(RequestTxn),
+    Evict(EvictTxn),
+}
+
+struct TileState {
+    l1i: L1Cache,
+    l1d: L1Cache,
+    l2: SetAssocCache<L2Line>,
+    txns: HashMap<LineAddr, HomeTxn>,
+    waiters: HashMap<LineAddr, VecDeque<(Message, Cycle)>>,
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------------
+
+/// The full-system simulator. Construct with [`Simulator::new`], then call
+/// [`Simulator::run`].
+pub struct Simulator {
+    cfg: SystemConfig,
+    workload_name: String,
+    instr_lines: u64,
+    instr_base: LineAddr,
+    rnuca: Rnuca,
+    net: MeshNetwork,
+    dram: DramSystem,
+    sync: SyncManager,
+    monitor: CoherenceMonitor,
+    counts: EnergyCounts,
+    energy_params: EnergyParams,
+    backing: HashMap<LineAddr, LineData>,
+    cores: Vec<CoreState>,
+    tiles: Vec<TileState>,
+    events: BinaryHeap<Reverse<OrderedEvent>>,
+    seq: u64,
+    inval_histogram: UtilizationHistogram,
+    evict_histogram: UtilizationHistogram,
+    protocol: ProtocolStats,
+    active_cores: usize,
+}
+
+impl Simulator {
+    /// Builds a simulator for `cfg` running `workload`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from [`SystemConfig::validate`], or one
+    /// describing a workload/machine mismatch (more traces than cores).
+    pub fn new(cfg: SystemConfig, workload: Workload) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        if workload.traces.len() > cfg.num_cores {
+            return Err(ConfigError::new(format!(
+                "workload has {} traces but the machine has {} cores",
+                workload.traces.len(),
+                cfg.num_cores
+            )));
+        }
+        let mut rnuca = Rnuca::new(cfg.num_cores, cfg.rnuca_cluster);
+        for r in &workload.regions {
+            rnuca.declare_lines(r.first_line, r.lines, r.class);
+        }
+        if workload.instr_lines > 0 {
+            rnuca.declare_lines(workload.instr_base, workload.instr_lines, RegionClass::Instruction);
+        }
+        let net = MeshNetwork::new(cfg.num_cores, cfg.hop_router_cycles, cfg.hop_link_cycles);
+        let dram =
+            DramSystem::new(cfg.num_mem_ctrls, cfg.num_cores, cfg.dram_latency, cfg.dram_bytes_per_cycle);
+        let active = workload.active_cores().max(1);
+        let mut traces: Vec<Option<Box<dyn TraceSource>>> =
+            workload.traces.into_iter().map(Some).collect();
+        traces.resize_with(cfg.num_cores, || None);
+
+        let cores = traces
+            .into_iter()
+            .map(|t| CoreState {
+                finished: t.is_none(),
+                trace: t,
+                clock: 0,
+                breakdown: CompletionBreakdown::default(),
+                miss_class: MissClassifier::new(),
+                l1d_stats: MissStats::default(),
+                l1i_stats: MissStats::default(),
+                pending_compute: 0,
+                replay: None,
+                replay_ifetched: false,
+                blocked: Blocked::No,
+                instr_pos: 0,
+                instructions: 0,
+                outstanding: None,
+            })
+            .collect::<Vec<_>>();
+
+        let tiles = (0..cfg.num_cores)
+            .map(|i| TileState {
+                l1i: L1Cache::new(&cfg.l1i, cfg.line_bytes, CoreId::new(i)),
+                l1d: L1Cache::new(&cfg.l1d, cfg.line_bytes, CoreId::new(i)),
+                l2: SetAssocCache::new(cfg.l2.num_sets(cfg.line_bytes), cfg.l2.associativity),
+                txns: HashMap::new(),
+                waiters: HashMap::new(),
+            })
+            .collect();
+
+        let mut sim = Simulator {
+            workload_name: workload.name,
+            instr_lines: workload.instr_lines,
+            instr_base: workload.instr_base,
+            rnuca,
+            net,
+            dram,
+            sync: SyncManager::new(active),
+            monitor: CoherenceMonitor::new(true, cfg_check_panics()),
+            counts: EnergyCounts::default(),
+            energy_params: EnergyParams::isca13_11nm(),
+            backing: HashMap::new(),
+            cores,
+            tiles,
+            events: BinaryHeap::new(),
+            seq: 0,
+            inval_histogram: UtilizationHistogram::new(),
+            evict_histogram: UtilizationHistogram::new(),
+            protocol: ProtocolStats::default(),
+            active_cores: active,
+            cfg,
+        };
+        for c in 0..sim.cores.len() {
+            if !sim.cores[c].finished {
+                sim.schedule(0, Event::CoreStep(c));
+            }
+        }
+        Ok(sim)
+    }
+
+    /// Disables the coherence monitor (large calibration runs).
+    pub fn set_monitor(&mut self, enabled: bool) {
+        self.monitor = CoherenceMonitor::new(enabled, enabled && cfg_check_panics());
+    }
+
+    /// Runs to completion and produces the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system deadlocks (an event-queue drain while cores are
+    /// still blocked) — this is a protocol-bug detector, not a user error.
+    pub fn run(mut self) -> SimReport {
+        while let Some(Reverse(oe)) = self.events.pop() {
+            let now = oe.at;
+            match oe.ev {
+                Event::CoreStep(c) => self.step_core(c, now),
+                Event::Deliver(msg) => self.deliver(msg, now),
+                Event::HomeLookup { tile, line } => self.home_lookup(tile, line, now),
+            }
+        }
+        let stuck: Vec<usize> =
+            (0..self.cores.len()).filter(|&c| !self.cores[c].finished).collect();
+        assert!(
+            stuck.is_empty(),
+            "deadlock: cores {stuck:?} never finished (blocked states: {:?})",
+            stuck.iter().map(|&c| self.cores[c].blocked).collect::<Vec<_>>()
+        );
+        self.build_report()
+    }
+
+    // -- infrastructure ----------------------------------------------------
+
+    fn schedule(&mut self, at: Cycle, ev: Event) {
+        self.seq += 1;
+        self.events.push(Reverse(OrderedEvent { at, seq: self.seq, ev }));
+    }
+
+    fn send(&mut self, src: CoreId, dst: CoreId, line: LineAddr, payload: Payload, now: Cycle) {
+        let flits = payload.flits();
+        let arrival = self.net.unicast(src, dst, flits, now);
+        self.schedule(arrival, Event::Deliver(Message { src, dst, line, payload, sent: now }));
+    }
+
+    fn broadcast_inv(&mut self, home: usize, line: LineAddr, back: bool, now: Cycle) {
+        let src = CoreId::new(home);
+        let arrivals = self.net.broadcast(src, 1, now);
+        for (t, &at) in arrivals.iter().enumerate() {
+            let dst = CoreId::new(t);
+            self.schedule(
+                at,
+                Event::Deliver(Message { src, dst, line, payload: Payload::Inv { back }, sent: now }),
+            );
+        }
+    }
+
+    fn home_of(&mut self, line: LineAddr, requester: CoreId) -> CoreId {
+        self.rnuca.home_for(line, requester)
+    }
+
+    // -- core execution ----------------------------------------------------
+
+    fn step_core(&mut self, ci: usize, now: Cycle) {
+        loop {
+            if self.cores[ci].finished || self.cores[ci].blocked != Blocked::No {
+                return;
+            }
+            if self.cores[ci].pending_compute > 0 && !self.run_compute(ci, now) {
+                return;
+            }
+            let op = match self.cores[ci].replay.take() {
+                Some(op) => op,
+                None => match self.cores[ci].trace.as_mut().and_then(|t| t.next_op()) {
+                    Some(op) => op,
+                    None => {
+                        self.cores[ci].finished = true;
+                        self.cores[ci].trace = None;
+                        return;
+                    }
+                },
+            };
+            if !self.exec_op(ci, op, now) {
+                return;
+            }
+        }
+    }
+
+    /// Executes pending compute instructions; `false` when blocked or
+    /// rescheduled.
+    fn run_compute(&mut self, ci: usize, now: Cycle) -> bool {
+        while self.cores[ci].pending_compute > 0 {
+            if !self.fetch_instr(ci, now) {
+                return false;
+            }
+            let core = &mut self.cores[ci];
+            core.pending_compute -= 1;
+            core.clock += 1;
+            core.breakdown.compute += 1;
+            core.instructions += 1;
+            self.counts.l1i_reads += 1;
+        }
+        true
+    }
+
+    /// Fetches the next instruction (I-cache model); `false` when blocked
+    /// on an I-miss or rescheduled to the core's local clock.
+    fn fetch_instr(&mut self, ci: usize, now: Cycle) -> bool {
+        if self.instr_lines == 0 {
+            return true;
+        }
+        let pos = self.cores[ci].instr_pos;
+        let line = LineAddr::new(self.instr_base.raw() + (pos / INSTR_PER_LINE) % self.instr_lines);
+        if pos % INSTR_PER_LINE == 0 {
+            let clock = self.cores[ci].clock;
+            let hit = self.tiles[ci].l1i.load(line, 0, clock).is_some();
+            if !hit {
+                if clock > now {
+                    self.schedule(clock, Event::CoreStep(ci));
+                    return false;
+                }
+                let miss = self.cores[ci].miss_class.classify(line, false);
+                self.cores[ci].l1i_stats.record_miss(miss);
+                self.issue_request(ci, line, 0, false, 0, true, clock);
+                self.cores[ci].blocked = Blocked::IFetch;
+                return false;
+            }
+            self.cores[ci].l1i_stats.record_hit();
+        }
+        self.cores[ci].instr_pos = pos + 1;
+        true
+    }
+
+    /// Executes one trace op; `false` when blocked or rescheduled.
+    fn exec_op(&mut self, ci: usize, op: TraceOp, now: Cycle) -> bool {
+        // Instruction fetch for the op itself (memory ops are instructions
+        // too; sync ops are abstract and free).
+        match op {
+            TraceOp::Load { .. } | TraceOp::Store { .. } => {
+                if !self.cores[ci].replay_ifetched {
+                    if !self.fetch_instr(ci, now) {
+                        self.cores[ci].replay = Some(op);
+                        return false;
+                    }
+                    self.cores[ci].replay_ifetched = true;
+                    self.cores[ci].instructions += 1;
+                    self.counts.l1i_reads += 1;
+                }
+            }
+            _ => {}
+        }
+
+        let done = match op {
+            TraceOp::Compute(n) => {
+                self.cores[ci].pending_compute = n;
+                self.run_compute(ci, now)
+            }
+            TraceOp::Load { addr } => {
+                let line = addr.line();
+                let word = addr.word_in_line();
+                let clock = self.cores[ci].clock;
+                if let Some(v) = self.tiles[ci].l1d.load(line, word, clock) {
+                    self.counts.l1d_reads += 1;
+                    self.cores[ci].l1d_stats.record_hit();
+                    self.cores[ci].clock += 1;
+                    self.cores[ci].breakdown.compute += 1;
+                    self.monitor.on_read(CoreId::new(ci), line, word, v);
+                    true
+                } else {
+                    if clock > now {
+                        self.cores[ci].replay = Some(op);
+                        self.schedule(clock, Event::CoreStep(ci));
+                        return false;
+                    }
+                    self.counts.l1d_tag_probes += 1;
+                    let miss = self.cores[ci].miss_class.classify(line, false);
+                    self.cores[ci].l1d_stats.record_miss(miss);
+                    self.issue_request(ci, line, word, false, 0, false, clock);
+                    self.cores[ci].blocked = Blocked::Data;
+                    // The op is consumed (its completion happens at reply
+                    // delivery); reset the per-op fetch flag.
+                    self.cores[ci].replay_ifetched = false;
+                    false
+                }
+            }
+            TraceOp::Store { addr, value } => {
+                let line = addr.line();
+                let word = addr.word_in_line();
+                let clock = self.cores[ci].clock;
+                match self.tiles[ci].l1d.store(line, word, value, clock) {
+                    StoreOutcome::Done => {
+                        self.counts.l1d_writes += 1;
+                        self.cores[ci].l1d_stats.record_hit();
+                        self.cores[ci].clock += 1;
+                        self.cores[ci].breakdown.compute += 1;
+                        self.monitor.on_write(CoreId::new(ci), line, word, value);
+                        true
+                    }
+                    outcome => {
+                        if clock > now {
+                            self.cores[ci].replay = Some(op);
+                            self.schedule(clock, Event::CoreStep(ci));
+                            return false;
+                        }
+                        let upgrade = outcome == StoreOutcome::NeedsUpgrade;
+                        self.counts.l1d_tag_probes += 1;
+                        let miss = self.cores[ci].miss_class.classify(line, upgrade);
+                        self.cores[ci].l1d_stats.record_miss(miss);
+                        self.issue_request(ci, line, word, true, value, false, clock);
+                        self.cores[ci].blocked = Blocked::Data;
+                        self.cores[ci].replay_ifetched = false;
+                        false
+                    }
+                }
+            }
+            TraceOp::Barrier { id } => self.sync_op(ci, op, now, |s, c, t| s.barrier_arrive(id, c, t)),
+            TraceOp::Acquire { id } => self.sync_op(ci, op, now, |s, c, t| s.acquire(id, c, t)),
+            TraceOp::Release { id } => self.sync_op(ci, op, now, |s, c, t| s.release(id, c, t)),
+        };
+        if done {
+            self.cores[ci].replay_ifetched = false;
+        }
+        done
+    }
+
+    fn sync_op(
+        &mut self,
+        ci: usize,
+        op: TraceOp,
+        now: Cycle,
+        f: impl FnOnce(&mut SyncManager, CoreId, Cycle) -> SyncOutcome,
+    ) -> bool {
+        let clock = self.cores[ci].clock;
+        if clock > now {
+            // Re-run the op at the core's local time so sync interleavings
+            // are event-ordered. The op has no side effects yet.
+            self.cores[ci].replay = Some(op);
+            self.schedule(clock, Event::CoreStep(ci));
+            return false;
+        }
+        match f(&mut self.sync, CoreId::new(ci), clock) {
+            SyncOutcome::Proceed => true,
+            SyncOutcome::Blocked => {
+                self.cores[ci].blocked = Blocked::Sync;
+                false
+            }
+            SyncOutcome::Release(list) => {
+                let mut self_proceeds = true;
+                for (c, t) in list {
+                    let idx = c.index();
+                    if idx == ci {
+                        let core = &mut self.cores[ci];
+                        core.breakdown.synchronization += t.saturating_sub(core.clock);
+                        core.clock = t;
+                        self_proceeds = true;
+                    } else {
+                        let core = &mut self.cores[idx];
+                        core.breakdown.synchronization += t.saturating_sub(core.clock);
+                        core.clock = t;
+                        core.blocked = Blocked::No;
+                        self.schedule(t, Event::CoreStep(idx));
+                    }
+                }
+                self_proceeds
+            }
+        }
+    }
+
+    fn issue_request(
+        &mut self,
+        ci: usize,
+        line: LineAddr,
+        word: usize,
+        is_store: bool,
+        value: u64,
+        instr: bool,
+        clock: Cycle,
+    ) {
+        let src = CoreId::new(ci);
+        let home = self.home_of(line, src);
+        let hints = if instr {
+            self.tiles[ci].l1i.hints_for(line)
+        } else {
+            self.tiles[ci].l1d.hints_for(line)
+        };
+        let payload = if is_store {
+            Payload::WriteReq { hints, word, value }
+        } else {
+            Payload::ReadReq { hints, word, instr }
+        };
+        self.cores[ci].outstanding =
+            Some(Outstanding { line, word, is_store, value, issue_time: clock, instr });
+        self.send(src, home, line, payload, clock);
+    }
+
+    // -- message delivery --------------------------------------------------
+
+    fn deliver(&mut self, msg: Message, now: Cycle) {
+        match msg.payload {
+            Payload::ReadReq { .. } | Payload::WriteReq { .. } => {
+                self.home_request_arrival(msg, now);
+            }
+            Payload::GrantLine { .. }
+            | Payload::GrantUpgrade { .. }
+            | Payload::WordReadReply { .. }
+            | Payload::WordWriteAck { .. } => self.core_resume(msg, now),
+            Payload::Inv { back } => self.l1_invalidate(msg.dst.index(), msg.src, msg.line, back, now),
+            Payload::InvAck { util, dirty, data, back } => {
+                self.home_inv_ack(msg.dst.index(), msg.src, msg.line, util, dirty, data, back, now);
+            }
+            Payload::WbReq => self.l1_writeback_req(msg.dst.index(), msg.src, msg.line, now),
+            Payload::WbData { dirty, data } => {
+                self.home_wb_response(msg.dst.index(), msg.src, msg.line, Some((dirty, data)), now);
+            }
+            Payload::WbNack => self.home_wb_response(msg.dst.index(), msg.src, msg.line, None, now),
+            Payload::EvictNotify { util, dirty, data } => {
+                self.home_evict_notify(msg.dst.index(), msg.src, msg.line, util, dirty, data, now);
+            }
+            Payload::DramFetch => {
+                let ctrl = self.dram.ctrl_for_line(msg.line);
+                debug_assert_eq!(self.dram.tile_of(ctrl), msg.dst);
+                let done = self.dram.access(ctrl, self.cfg.line_bytes, now);
+                let data = self.backing.get(&msg.line).copied().unwrap_or_else(LineData::zeroed);
+                self.send(msg.dst, msg.src, msg.line, Payload::DramData { data }, done);
+            }
+            Payload::DramData { data } => self.home_dram_data(msg.dst.index(), msg.line, data, now),
+            Payload::DramWriteBack { data } => {
+                let ctrl = self.dram.ctrl_for_line(msg.line);
+                let _ = self.dram.access(ctrl, self.cfg.line_bytes, now);
+                self.backing.insert(msg.line, data);
+            }
+        }
+    }
+
+    // -- home side ----------------------------------------------------------
+
+    fn home_request_arrival(&mut self, msg: Message, now: Cycle) {
+        let tile = msg.dst.index();
+        let line = msg.line;
+        let busy = self.tiles[tile].txns.contains_key(&line)
+            || self.tiles[tile].waiters.get(&line).is_some_and(|q| !q.is_empty());
+        if busy {
+            self.tiles[tile].waiters.entry(line).or_default().push_back((msg, now));
+        } else {
+            self.start_home_txn(tile, msg, now, now);
+        }
+    }
+
+    fn start_home_txn(&mut self, tile: usize, msg: Message, arrival: Cycle, now: Cycle) {
+        let (kind, hints, word, value, instr) = match msg.payload {
+            Payload::ReadReq { hints, word, instr } => (AccessKind::Read, hints, word, 0, instr),
+            Payload::WriteReq { hints, word, value } => (AccessKind::Write, hints, word, value, false),
+            _ => unreachable!("only requests start transactions"),
+        };
+        self.counts.l2_tag_probes += 1;
+        self.counts.dir_reads += 1;
+        let txn = RequestTxn {
+            requester: msg.src,
+            kind,
+            hints,
+            word,
+            value,
+            instr,
+            wait: now - arrival,
+            offchip: 0,
+            sharers_lat: 0,
+            phase: Phase::Lookup,
+            phase_start: now,
+            decision: None,
+            awaiting: Awaiting::Count(0),
+        };
+        self.tiles[tile].txns.insert(msg.line, HomeTxn::Request(txn));
+        self.schedule(now + self.cfg.l2.latency, Event::HomeLookup { tile, line: msg.line });
+    }
+
+    fn home_lookup(&mut self, tile: usize, line: LineAddr, now: Cycle) {
+        if self.tiles[tile].l2.contains(line) {
+            self.home_decide(tile, line, now);
+        } else {
+            let home = CoreId::new(tile);
+            {
+                let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+                    unreachable!("lookup without transaction");
+                };
+                txn.phase = Phase::AwaitDram;
+                txn.phase_start = now;
+            }
+            let ctrl = self.dram.ctrl_for_line(line);
+            let ctrl_tile = self.dram.tile_of(ctrl);
+            self.send(home, ctrl_tile, line, Payload::DramFetch, now);
+        }
+    }
+
+    fn home_dram_data(&mut self, tile: usize, line: LineAddr, data: LineData, now: Cycle) {
+        {
+            let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+                unreachable!("DRAM data without transaction");
+            };
+            if txn.phase == Phase::AwaitDram {
+                txn.offchip += now - txn.phase_start;
+                txn.phase = Phase::Installing;
+            }
+        }
+        if !self.install_l2_line(tile, line, data, now) {
+            // Every way in the set is protocol-busy; retry shortly.
+            let home = CoreId::new(tile);
+            self.schedule(
+                now + INSTALL_RETRY_CYCLES,
+                Event::Deliver(Message {
+                    src: home,
+                    dst: home,
+                    line,
+                    payload: Payload::DramData { data },
+                    sent: now,
+                }),
+            );
+            return;
+        }
+        self.home_decide(tile, line, now);
+    }
+
+    fn install_l2_line(&mut self, tile: usize, line: LineAddr, data: LineData, now: Cycle) -> bool {
+        let entry =
+            DirectoryEntry::new(self.cfg.directory, &self.cfg.classifier, self.cfg.num_cores);
+        let fresh = L2Line { dirty: false, data, entry };
+        // A victim must not have an in-flight transaction of its own.
+        let txns = &self.tiles[tile].txns;
+        let waiters = &self.tiles[tile].waiters;
+        let protected: Vec<LineAddr> = txns
+            .keys()
+            .copied()
+            .chain(waiters.iter().filter(|(_, q)| !q.is_empty()).map(|(l, _)| *l))
+            .collect();
+        let result = self.tiles[tile]
+            .l2
+            .try_insert_filtered(line, fresh, |l, _| l != line && !protected.contains(&l));
+        match result {
+            Err(_) => false,
+            Ok(victim) => {
+                self.counts.l2_line_writes += 1;
+                if let Some((vline, vmeta)) = victim {
+                    self.spawn_l2_eviction(tile, vline, vmeta, now);
+                }
+                true
+            }
+        }
+    }
+
+    fn spawn_l2_eviction(&mut self, tile: usize, vline: LineAddr, vmeta: L2Line, now: Cycle) {
+        self.protocol.l2_evictions += 1;
+        let home = CoreId::new(tile);
+        match vmeta.entry.back_invalidation_plan() {
+            None => {
+                if vmeta.dirty {
+                    let ctrl_tile = self.dram.tile_of(self.dram.ctrl_for_line(vline));
+                    self.send(home, ctrl_tile, vline, Payload::DramWriteBack { data: vmeta.data }, now);
+                }
+            }
+            Some(plan) => {
+                let awaiting = match &plan {
+                    lacc_core::sharer::InvalidationPlan::Unicast(cores) => {
+                        for &c in cores {
+                            self.protocol.invalidations_sent += 1;
+                            self.send(home, c, vline, Payload::Inv { back: true }, now);
+                        }
+                        Awaiting::Set(cores.clone())
+                    }
+                    lacc_core::sharer::InvalidationPlan::Broadcast { expected_acks } => {
+                        self.protocol.broadcasts += 1;
+                        self.protocol.invalidations_sent += 1;
+                        self.broadcast_inv(tile, vline, true, now);
+                        Awaiting::Count(*expected_acks)
+                    }
+                };
+                self.tiles[tile].txns.insert(
+                    vline,
+                    HomeTxn::Evict(EvictTxn {
+                        entry: vmeta.entry,
+                        data: vmeta.data,
+                        dirty: vmeta.dirty,
+                        awaiting,
+                    }),
+                );
+            }
+        }
+    }
+
+    fn home_decide(&mut self, tile: usize, line: LineAddr, now: Cycle) {
+        let decision;
+        {
+            let (requester, kind, hints, instr) = {
+                let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get(&line) else {
+                    unreachable!("decide without transaction");
+                };
+                (txn.requester, txn.kind, txn.hints, txn.instr)
+            };
+            let l2line = self.tiles[tile].l2.get_mut(line).expect("decide on resident line");
+            let req = HomeRequest { core: requester, kind, hints, instruction: instr };
+            decision = l2line.entry.begin_request(&req, now);
+            self.counts.dir_updates += 1;
+        }
+        let fetch_from = decision.fetch_from_owner;
+        {
+            let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+                unreachable!();
+            };
+            txn.decision = Some(decision);
+            if let Some(owner) = fetch_from {
+                txn.phase = Phase::AwaitWb;
+                txn.phase_start = now;
+                self.protocol.write_backs += 1;
+                let home = CoreId::new(tile);
+                self.send(home, owner, line, Payload::WbReq, now);
+                return;
+            }
+        }
+        self.home_proceed_invalidate(tile, line, now);
+    }
+
+    fn home_proceed_invalidate(&mut self, tile: usize, line: LineAddr, now: Cycle) {
+        let plan = {
+            let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+                unreachable!();
+            };
+            match &txn.decision.as_ref().expect("decision made").invalidate {
+                Some(plan) if txn.phase != Phase::AwaitAcks => {
+                    txn.phase = Phase::AwaitAcks;
+                    txn.phase_start = now;
+                    Some(plan.clone())
+                }
+                _ => None,
+            }
+        };
+        match plan {
+            Some(lacc_core::sharer::InvalidationPlan::Unicast(cores)) => {
+                let home = CoreId::new(tile);
+                for &c in &cores {
+                    self.protocol.invalidations_sent += 1;
+                    self.send(home, c, line, Payload::Inv { back: false }, now);
+                }
+                if let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) {
+                    txn.awaiting = Awaiting::Set(cores);
+                }
+            }
+            Some(lacc_core::sharer::InvalidationPlan::Broadcast { expected_acks }) => {
+                self.protocol.broadcasts += 1;
+                self.protocol.invalidations_sent += 1;
+                self.broadcast_inv(tile, line, false, now);
+                if let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) {
+                    txn.awaiting = Awaiting::Count(expected_acks);
+                }
+            }
+            None => self.home_grant(tile, line, now),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn home_inv_ack(
+        &mut self,
+        tile: usize,
+        from: CoreId,
+        line: LineAddr,
+        util: u32,
+        dirty: bool,
+        data: LineData,
+        back: bool,
+        now: Cycle,
+    ) {
+        match self.tiles[tile].txns.get_mut(&line) {
+            Some(HomeTxn::Request(txn)) => {
+                debug_assert_eq!(txn.phase, Phase::AwaitAcks, "unexpected inv-ack");
+                debug_assert!(!back);
+                self.inval_histogram.record(util);
+                let counted = txn.awaiting.note_response(from);
+                debug_assert!(counted, "uncounted inv-ack from {from}");
+                let done = txn.awaiting.done();
+                let l2line = self.tiles[tile].l2.peek_mut(line).expect("resident during txn");
+                let mode = l2line.entry.sharer_response(from, util, RemovalReason::Invalidation);
+                if mode == Some(SharerMode::Remote) {
+                    self.protocol.demotions += 1;
+                }
+                if dirty {
+                    l2line.data = data;
+                    l2line.dirty = true;
+                    self.counts.l2_line_writes += 1;
+                }
+                if done {
+                    let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+                        unreachable!();
+                    };
+                    txn.sharers_lat += now - txn.phase_start;
+                    self.home_grant(tile, line, now);
+                }
+            }
+            Some(HomeTxn::Evict(et)) => {
+                self.evict_histogram.record(util);
+                et.entry.sharer_response(from, util, RemovalReason::BackInvalidation);
+                if dirty {
+                    et.data = data;
+                    et.dirty = true;
+                }
+                et.awaiting.note_response(from);
+                if et.awaiting.done() {
+                    self.finish_l2_eviction(tile, line, now);
+                }
+            }
+            None => debug_assert!(false, "inv-ack for idle line {line}"),
+        }
+    }
+
+    fn finish_l2_eviction(&mut self, tile: usize, line: LineAddr, now: Cycle) {
+        let Some(HomeTxn::Evict(et)) = self.tiles[tile].txns.remove(&line) else {
+            unreachable!();
+        };
+        if et.dirty {
+            let home = CoreId::new(tile);
+            let ctrl_tile = self.dram.tile_of(self.dram.ctrl_for_line(line));
+            self.send(home, ctrl_tile, line, Payload::DramWriteBack { data: et.data }, now);
+        }
+        self.drain_waiter(tile, line, now);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn home_evict_notify(
+        &mut self,
+        tile: usize,
+        from: CoreId,
+        line: LineAddr,
+        util: u32,
+        dirty: bool,
+        data: LineData,
+        now: Cycle,
+    ) {
+        self.protocol.evictions += 1;
+        self.evict_histogram.record(util);
+        match self.tiles[tile].txns.get_mut(&line) {
+            Some(HomeTxn::Request(txn)) if txn.phase == Phase::AwaitAcks => {
+                let counted = txn.awaiting.note_response(from);
+                let done = txn.awaiting.done();
+                let l2line = self.tiles[tile].l2.peek_mut(line).expect("resident during txn");
+                let mode = l2line.entry.sharer_response(from, util, RemovalReason::Eviction);
+                if mode == Some(SharerMode::Remote) {
+                    self.protocol.demotions += 1;
+                }
+                if dirty {
+                    l2line.data = data;
+                    l2line.dirty = true;
+                    self.counts.l2_line_writes += 1;
+                }
+                if counted && done {
+                    let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+                        unreachable!();
+                    };
+                    txn.sharers_lat += now - txn.phase_start;
+                    self.home_grant(tile, line, now);
+                }
+            }
+            Some(HomeTxn::Evict(et)) => {
+                et.entry.sharer_response(from, util, RemovalReason::Eviction);
+                if dirty {
+                    et.data = data;
+                    et.dirty = true;
+                }
+                et.awaiting.note_response(from);
+                if et.awaiting.done() {
+                    self.finish_l2_eviction(tile, line, now);
+                }
+            }
+            _ => {
+                // No transaction (or one not yet collecting acks): plain
+                // bookkeeping on the resident line.
+                let Some(l2line) = self.tiles[tile].l2.peek_mut(line) else {
+                    debug_assert!(false, "evict notify for non-resident {line}");
+                    return;
+                };
+                let mode = l2line.entry.sharer_response(from, util, RemovalReason::Eviction);
+                if mode == Some(SharerMode::Remote) {
+                    self.protocol.demotions += 1;
+                }
+                if dirty {
+                    l2line.data = data;
+                    l2line.dirty = true;
+                    self.counts.l2_line_writes += 1;
+                }
+                self.counts.dir_updates += 1;
+            }
+        }
+    }
+
+    fn home_wb_response(
+        &mut self,
+        tile: usize,
+        owner: CoreId,
+        line: LineAddr,
+        response: Option<(bool, LineData)>,
+        now: Cycle,
+    ) {
+        {
+            let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+                unreachable!("write-back response without transaction");
+            };
+            debug_assert_eq!(txn.phase, Phase::AwaitWb);
+            txn.sharers_lat += now - txn.phase_start;
+            let l2line = self.tiles[tile].l2.peek_mut(line).expect("resident during txn");
+            match response {
+                Some((dirty, data)) => {
+                    l2line.entry.owner_downgraded(owner);
+                    if dirty {
+                        l2line.data = data;
+                        l2line.dirty = true;
+                        self.counts.l2_line_writes += 1;
+                    }
+                }
+                None => {
+                    // Owner evicted; its notify (FIFO-ordered ahead of the
+                    // nack) already removed it from the sharer set.
+                    debug_assert_ne!(l2line.entry.state.owner(), Some(owner));
+                }
+            }
+        }
+        self.home_proceed_invalidate(tile, line, now);
+    }
+
+    fn home_grant(&mut self, tile: usize, line: LineAddr, now: Cycle) {
+        let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.remove(&line) else {
+            unreachable!("grant without transaction");
+        };
+        let decision = txn.decision.expect("granting after decision");
+        let ann = LatencyAnnotation {
+            waiting: txn.wait,
+            sharers: txn.sharers_lat,
+            offchip: txn.offchip,
+        };
+        let home = CoreId::new(tile);
+        if decision.outcome.promoted {
+            self.protocol.promotions += 1;
+        }
+        let payload = {
+            let l2line = self.tiles[tile].l2.get_mut(line).expect("resident during txn");
+            match decision.grant {
+                Grant::LineShared | Grant::LineExclusive | Grant::LineModified => {
+                    self.counts.l2_line_reads += 1;
+                    self.protocol.line_grants += 1;
+                    l2line.entry.complete_grant(txn.requester, decision.grant);
+                    let mesi = match decision.grant {
+                        Grant::LineShared => MesiState::Shared,
+                        Grant::LineExclusive => MesiState::Exclusive,
+                        _ => MesiState::Modified,
+                    };
+                    Payload::GrantLine { mesi, data: l2line.data, ann }
+                }
+                Grant::Upgrade => {
+                    self.counts.dir_updates += 1;
+                    self.protocol.upgrades += 1;
+                    l2line.entry.complete_grant(txn.requester, decision.grant);
+                    Payload::GrantUpgrade { ann }
+                }
+                Grant::WordRead => {
+                    self.counts.l2_word_reads += 1;
+                    self.counts.dir_updates += 1;
+                    self.protocol.word_reads += 1;
+                    l2line.entry.complete_grant(txn.requester, decision.grant);
+                    let value = l2line.data.word(txn.word);
+                    self.monitor.on_read(txn.requester, line, txn.word, value);
+                    Payload::WordReadReply { value, ann }
+                }
+                Grant::WordWrite => {
+                    self.counts.l2_word_writes += 1;
+                    self.counts.dir_updates += 1;
+                    self.protocol.word_writes += 1;
+                    l2line.data.set_word(txn.word, txn.value);
+                    l2line.dirty = true;
+                    l2line.entry.complete_grant(txn.requester, decision.grant);
+                    self.monitor.on_write(txn.requester, line, txn.word, txn.value);
+                    Payload::WordWriteAck { ann }
+                }
+            }
+        };
+        self.send(home, txn.requester, line, payload, now);
+        self.drain_waiter(tile, line, now);
+    }
+
+    fn drain_waiter(&mut self, tile: usize, line: LineAddr, now: Cycle) {
+        let next = {
+            let Some(q) = self.tiles[tile].waiters.get_mut(&line) else { return };
+            let n = q.pop_front();
+            if q.is_empty() {
+                self.tiles[tile].waiters.remove(&line);
+            }
+            n
+        };
+        if let Some((msg, arrival)) = next {
+            self.start_home_txn(tile, msg, arrival, now);
+        }
+    }
+
+    // -- L1 side ------------------------------------------------------------
+
+    fn l1_invalidate(&mut self, tile: usize, home: CoreId, line: LineAddr, back: bool, now: Cycle) {
+        // Broadcast invalidations reach every tile, but a copy answers only
+        // to its own home. This matters for R-NUCA-replicated instruction
+        // lines: the same address is homed per cluster, and a broadcast
+        // from one cluster's home must not kill (or collect acks from)
+        // another cluster's copies.
+        if self.home_of(line, CoreId::new(tile)) != home {
+            return;
+        }
+        let victim = self.tiles[tile]
+            .l1d
+            .process_inv(line)
+            .or_else(|| self.tiles[tile].l1i.process_inv(line));
+        if let Some(v) = victim {
+            let reason =
+                if back { RemovalReason::BackInvalidation } else { RemovalReason::Invalidation };
+            self.cores[tile].miss_class.record_removal(line, reason);
+            self.counts.l1d_fills += u64::from(v.dirty); // dirty read-out
+            self.send(
+                CoreId::new(tile),
+                home,
+                line,
+                Payload::InvAck { util: v.utilization, dirty: v.dirty, data: v.data, back },
+                now,
+            );
+        }
+        // No copy: stay silent — the eviction notify in flight (or the
+        // broadcast over-approximation) is accounted by the home.
+    }
+
+    fn l1_writeback_req(&mut self, tile: usize, home: CoreId, line: LineAddr, now: Cycle) {
+        let resp = self.tiles[tile]
+            .l1d
+            .process_downgrade(line)
+            .or_else(|| self.tiles[tile].l1i.process_downgrade(line));
+        let payload = match resp {
+            Some((dirty, data)) => Payload::WbData { dirty, data },
+            None => Payload::WbNack,
+        };
+        self.send(CoreId::new(tile), home, line, payload, now);
+    }
+
+    fn core_resume(&mut self, msg: Message, now: Cycle) {
+        let ci = msg.dst.index();
+        let out = self.cores[ci].outstanding.take().expect("resume without outstanding miss");
+        debug_assert_eq!(out.line, msg.line);
+        let ann = match &msg.payload {
+            Payload::GrantLine { ann, .. }
+            | Payload::GrantUpgrade { ann }
+            | Payload::WordReadReply { ann, .. }
+            | Payload::WordWriteAck { ann } => *ann,
+            _ => unreachable!("not a reply"),
+        };
+        let total = now - out.issue_time;
+        let overlap = ann.waiting + ann.sharers + ann.offchip;
+        {
+            let b = &mut self.cores[ci].breakdown;
+            b.l1_to_l2 += total.saturating_sub(overlap);
+            b.l2_waiting += ann.waiting;
+            b.l2_to_sharers += ann.sharers;
+            b.l2_to_offchip += ann.offchip;
+        }
+        self.cores[ci].clock = now;
+        let core_id = CoreId::new(ci);
+
+        match msg.payload {
+            Payload::GrantLine { mesi, mut data, .. } => {
+                if out.is_store {
+                    debug_assert_eq!(mesi, MesiState::Modified);
+                    data.set_word(out.word, out.value);
+                    self.monitor.on_write(core_id, out.line, out.word, out.value);
+                } else {
+                    let v = data.word(out.word);
+                    self.monitor.on_read(core_id, out.line, out.word, v);
+                }
+                let cache =
+                    if out.instr { &mut self.tiles[ci].l1i } else { &mut self.tiles[ci].l1d };
+                let victim = cache.install(out.line, mesi, data, now);
+                if out.instr {
+                    self.counts.l1i_fills += 1;
+                } else {
+                    self.counts.l1d_fills += 1;
+                }
+                if let Some(v) = victim {
+                    self.cores[ci].miss_class.record_removal(v.line, RemovalReason::Eviction);
+                    let vhome = self.home_of(v.line, core_id);
+                    self.send(
+                        core_id,
+                        vhome,
+                        v.line,
+                        Payload::EvictNotify { util: v.utilization, dirty: v.dirty, data: v.data },
+                        now,
+                    );
+                }
+            }
+            Payload::GrantUpgrade { .. } => {
+                self.tiles[ci].l1d.apply_upgrade(out.line, out.word, out.value, now);
+                self.counts.l1d_writes += 1;
+                self.monitor.on_write(core_id, out.line, out.word, out.value);
+            }
+            Payload::WordReadReply { .. } => {
+                self.cores[ci].miss_class.record_remote_access(out.line);
+            }
+            Payload::WordWriteAck { .. } => {
+                self.cores[ci].miss_class.record_remote_access(out.line);
+            }
+            _ => unreachable!(),
+        }
+        self.cores[ci].blocked = Blocked::No;
+        self.step_core(ci, now);
+    }
+
+    // -- reporting ----------------------------------------------------------
+
+    fn build_report(self) -> SimReport {
+        let mut counts = self.counts;
+        let net = self.net.stats();
+        counts.router_flits = net.router_flits;
+        counts.link_flits = net.link_flits;
+        let energy = self.energy_params.charge(&counts);
+        let per_core: Vec<CompletionBreakdown> = (0..self.active_cores)
+            .map(|c| self.cores[c].breakdown)
+            .collect();
+        let completion_time = (0..self.active_cores)
+            .map(|c| self.cores[c].clock)
+            .max()
+            .unwrap_or(0);
+        SimReport {
+            workload: self.workload_name,
+            completion_time,
+            breakdown: per_core.iter().copied().sum(),
+            per_core,
+            energy,
+            energy_counts: counts,
+            l1d: self.cores.iter().map(|c| c.l1d_stats).sum(),
+            l1i: self.cores.iter().map(|c| c.l1i_stats).sum(),
+            inval_histogram: self.inval_histogram,
+            evict_histogram: self.evict_histogram,
+            net,
+            dram: self.dram.stats(),
+            protocol: self.protocol,
+            instructions: self.cores.iter().map(|c| c.instructions).sum(),
+            monitor: self.monitor.report().clone(),
+        }
+    }
+}
+
+/// Whether coherence violations should panic (on by default; large
+/// calibration sweeps may disable the monitor wholesale instead).
+fn cfg_check_panics() -> bool {
+    true
+}

@@ -1,0 +1,32 @@
+//! # lacc-workloads — synthetic stand-ins for the Table-2 benchmarks
+//!
+//! The paper evaluates six SPLASH-2, six PARSEC, four Parallel-MI-Bench,
+//! two UHPC graph benchmarks and three others on the Graphite simulator.
+//! Those binaries (and Graphite) are not reproducible offline, so this
+//! crate generates deterministic multi-threaded memory traces whose
+//! *spatio-temporal locality and sharing structure* match each benchmark's
+//! published character — which is the only thing the locality-aware
+//! protocol reacts to. See DESIGN.md ("Substitutions") for the argument
+//! and the per-benchmark mapping.
+//!
+//! # Examples
+//!
+//! ```
+//! use lacc_workloads::Benchmark;
+//! use lacc_model::SystemConfig;
+//! use lacc_sim::Simulator;
+//!
+//! // A tiny streamcluster run on a 4-core machine.
+//! let w = Benchmark::Streamcluster.build(4, 0.02);
+//! let report = Simulator::new(SystemConfig::small_for_tests(4), w)?.run();
+//! assert_eq!(report.monitor.violations, 0);
+//! # Ok::<(), lacc_model::ConfigError>(())
+//! ```
+
+pub mod gen;
+pub mod regions;
+pub mod suite;
+
+pub use gen::Phases;
+pub use regions::Region;
+pub use suite::Benchmark;

@@ -1,0 +1,54 @@
+//! Every Table-2 preset must run coherently on both a small machine and
+//! the full 64-core Table-1 configuration.
+
+use lacc_model::SystemConfig;
+use lacc_sim::Simulator;
+use lacc_workloads::Benchmark;
+
+#[test]
+fn all_presets_run_coherently_on_small_machine() {
+    for b in Benchmark::ALL {
+        let w = b.build(4, 0.03);
+        let r = Simulator::new(SystemConfig::small_for_tests(4), w)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name()))
+            .run();
+        assert_eq!(r.monitor.violations, 0, "{}", b.name());
+        assert!(r.completion_time > 0, "{}", b.name());
+        assert!(r.l1d.total_accesses() > 0, "{}", b.name());
+    }
+}
+
+#[test]
+fn presets_run_on_full_64_core_machine() {
+    // A subset at small scale keeps the test fast while exercising the
+    // real Table-1 geometry (8x8 mesh, ACKwise_4, Limited_3, PCT 4).
+    for b in [Benchmark::Streamcluster, Benchmark::WaterSp, Benchmark::Concomp, Benchmark::Tsp] {
+        let w = b.build(64, 0.02);
+        let r = Simulator::new(SystemConfig::isca13_64core(), w).unwrap().run();
+        assert_eq!(r.monitor.violations, 0, "{}", b.name());
+        assert!(r.instructions > 0, "{}", b.name());
+    }
+}
+
+#[test]
+fn adaptive_protocol_beats_baseline_on_streamcluster() {
+    // The paper's headline mechanism on its best benchmark: frequent
+    // invalidations of low-utilization lines convert to word accesses.
+    let run = |pct: u32| {
+        let w = Benchmark::Streamcluster.build(16, 0.1);
+        let mut cfg = SystemConfig::small_for_tests(16).with_pct(pct);
+        cfg.l1d = lacc_model::CacheConfig::new(8 * 1024, 4, 1);
+        cfg.l2 = lacc_model::CacheConfig::new(64 * 1024, 8, 7);
+        Simulator::new(cfg, w).unwrap().run()
+    };
+    let baseline = run(1);
+    let adaptive = run(4);
+    assert_eq!(adaptive.monitor.violations, 0);
+    assert!(adaptive.protocol.word_reads > 0, "adaptive mode must serve words");
+    assert!(
+        adaptive.energy.total() < baseline.energy.total(),
+        "adaptive {:.0} pJ must beat baseline {:.0} pJ",
+        adaptive.energy.total(),
+        baseline.energy.total()
+    );
+}

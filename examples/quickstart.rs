@@ -1,0 +1,42 @@
+//! Quickstart: run one benchmark on the Table-1 machine and print the
+//! paper's metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lacc::prelude::*;
+
+fn main() {
+    // The full 64-core Table-1 machine: ACKwise_4, Limited_3 classifier,
+    // PCT = 4, 8x8 mesh, 8 memory controllers.
+    let cfg = SystemConfig::isca13_64core();
+
+    // A scaled-down streamcluster stand-in (the paper's best case for
+    // converting sharing misses into word misses).
+    let workload = Benchmark::Streamcluster.build(cfg.num_cores, 0.25);
+
+    let report = Simulator::new(cfg, workload).expect("valid configuration").run();
+
+    println!("== {} on the ISCA-13 machine ==", report.workload);
+    println!("completion time : {} cycles", report.completion_time);
+    println!("dynamic energy  : {:.1} nJ", report.total_energy() / 1000.0);
+    println!("L1-D miss rate  : {:.2}%", report.l1d_miss_rate_pct());
+    println!("instructions    : {}", report.instructions);
+    println!();
+    println!("completion-time breakdown: {}", report.breakdown);
+    println!("energy breakdown        : {}", report.energy);
+    println!();
+    println!(
+        "protocol: {} line grants, {} word reads, {} word writes, {} promotions, {} demotions",
+        report.protocol.line_grants,
+        report.protocol.word_reads,
+        report.protocol.word_writes,
+        report.protocol.promotions,
+        report.protocol.demotions
+    );
+    println!(
+        "coherence monitor: {} reads checked, {} violations",
+        report.monitor.reads_checked, report.monitor.violations
+    );
+}

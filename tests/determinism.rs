@@ -1,0 +1,52 @@
+//! Bit-for-bit determinism across repeated runs: same seed, same machine,
+//! same report — the property every experiment in EXPERIMENTS.md relies on.
+
+use lacc::prelude::*;
+
+fn fingerprint(r: &SimReport) -> String {
+    format!(
+        "{}|{:?}|{:?}|{:?}|{}|{}|{}|{:?}|{:?}",
+        r.completion_time,
+        r.breakdown,
+        r.l1d,
+        r.l1i,
+        r.energy.total(),
+        r.net.link_flits,
+        r.dram.accesses,
+        r.inval_histogram.bins(),
+        r.evict_histogram.bins(),
+    )
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    for b in [Benchmark::Streamcluster, Benchmark::Radix, Benchmark::Tsp] {
+        let run = || {
+            let w = b.build(8, 0.05);
+            Simulator::new(SystemConfig::small_for_tests(8), w).unwrap().run()
+        };
+        assert_eq!(fingerprint(&run()), fingerprint(&run()), "{}", b.name());
+    }
+}
+
+#[test]
+fn different_seeded_benchmarks_differ() {
+    // Sanity check that the fingerprint actually discriminates.
+    let run = |b: Benchmark| {
+        let w = b.build(8, 0.05);
+        Simulator::new(SystemConfig::small_for_tests(8), w).unwrap().run()
+    };
+    assert_ne!(
+        fingerprint(&run(Benchmark::Streamcluster)),
+        fingerprint(&run(Benchmark::Canneal))
+    );
+}
+
+#[test]
+fn scale_changes_only_length_not_validity() {
+    for scale in [0.02, 0.08] {
+        let w = Benchmark::Barnes.build(8, scale);
+        let r = Simulator::new(SystemConfig::small_for_tests(8), w).unwrap().run();
+        assert_eq!(r.monitor.violations, 0, "scale {scale}");
+    }
+}
