@@ -298,7 +298,13 @@ impl<M> SetAssocCache<M> {
 
 impl<M: fmt::Debug> fmt::Debug for SetAssocCache<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SetAssocCache({} sets x {} ways, {} valid)", self.num_sets, self.assoc, self.len())
+        write!(
+            f,
+            "SetAssocCache({} sets x {} ways, {} valid)",
+            self.num_sets,
+            self.assoc,
+            self.len()
+        )
     }
 }
 

@@ -521,6 +521,7 @@ mod tests {
     fn eviction_demotion_raises_rat() {
         let mut cl = LocalityClassifier::new(&cfg(4), 8);
         cl.on_sharer_removed(c(0), 1, RemovalReason::Eviction); // RAT -> 16
+
         // Under set pressure (no invalid way), promotion now needs 16.
         for i in 1..16 {
             let out = cl.classify_request(c(0), PRESSURE, 0);
@@ -555,6 +556,7 @@ mod tests {
     fn reclassification_as_private_resets_rat() {
         let mut cl = LocalityClassifier::new(&cfg(4), 8);
         cl.on_sharer_removed(c(0), 1, RemovalReason::Eviction); // RAT -> 16
+
         // Build 16 remote accesses to promote under pressure.
         for _ in 0..16 {
             cl.classify_request(c(0), PRESSURE, 0);
@@ -578,6 +580,7 @@ mod tests {
         // §3.2: classification on removal uses private + remote utilization.
         let mut cl = LocalityClassifier::new(&cfg(4), 8);
         cl.on_sharer_removed(c(0), 1, RemovalReason::Invalidation); // remote
+
         // Two remote accesses (remote_util = 2), then promoted? no: stays
         // remote (2 < 4). Third and fourth accesses promote at PCT with
         // invalid way.
@@ -696,6 +699,7 @@ mod tests {
         let mut cl = LocalityClassifier::new(&limited_cfg(2), 64);
         cl.classify_request(c(0), NO_HINT, 0); // private, active
         cl.classify_request(c(1), NO_HINT, 0); // private, active
+
         // Core 0's copy is invalidated -> inactive, stays private (util 4).
         cl.on_sharer_removed(c(0), 4, RemovalReason::Invalidation);
         // Core 2 arrives: replaces core 0's entry; majority of tracked
@@ -727,6 +731,7 @@ mod tests {
         // the radix/bodytrack pathologies.
         let mut cl = LocalityClassifier::new(&limited_cfg(1), 64);
         cl.on_sharer_removed(c(0), 1, RemovalReason::Invalidation); // remote, inactive
+
         // Core 1 replaces it, inheriting Remote by majority vote even
         // though it might have wanted Private.
         let out = cl.classify_request(c(1), NO_HINT, 0);
@@ -738,6 +743,7 @@ mod tests {
         let mut cl = LocalityClassifier::new(&limited_cfg(2), 64);
         cl.classify_request(c(0), NO_HINT, 0); // private active
         cl.on_sharer_removed(c(1), 1, RemovalReason::Invalidation); // remote inactive
+
         // 1 private vs 1 remote: tie -> Private (the §3.2 initial mode).
         assert_eq!(cl.mode_of(c(9)), SharerMode::Private);
     }
@@ -813,11 +819,7 @@ mod proptests {
         (1u32..6, 1usize..5, prop_oneof![Just(true), Just(false)], 1usize..4).prop_map(
             |(pct, k, one_way, levels)| ClassifierConfig {
                 pct,
-                tracking: if k == 4 {
-                    TrackingKind::Complete
-                } else {
-                    TrackingKind::Limited { k }
-                },
+                tracking: if k == 4 { TrackingKind::Complete } else { TrackingKind::Limited { k } },
                 mechanism: MechanismKind::RatLevels { levels, rat_max: pct + 12 },
                 one_way,
                 shortcut: false,

@@ -147,7 +147,7 @@ impl DirectoryEntry {
         };
         self.last_access = now;
 
-        let decision = match (req.kind, outcome.mode) {
+        match (req.kind, outcome.mode) {
             (AccessKind::Read, SharerMode::Private) => {
                 let owner = self.state.owner().filter(|&o| o != req.core);
                 let grant = if owner.is_none() && self.sharers.is_empty() {
@@ -168,8 +168,8 @@ impl DirectoryEntry {
                 // holds an S copy; after ACKwise overflow it cannot know,
                 // so the requester's copy is invalidated with the rest and
                 // a full M line is granted.
-                let is_sharer = self.sharers.contains(req.core) == Some(true)
-                    && self.state == DirState::Shared;
+                let is_sharer =
+                    self.sharers.contains(req.core) == Some(true) && self.state == DirState::Shared;
                 let skip = if is_sharer { Some(req.core) } else { None };
                 let plan = self.sharers.invalidation_plan(skip);
                 self.classifier.on_write(req.core);
@@ -190,8 +190,7 @@ impl DirectoryEntry {
                     outcome,
                 }
             }
-        };
-        decision
+        }
     }
 
     /// Processes one sharer response: an invalidation ack, an eviction
@@ -429,6 +428,7 @@ mod tests {
         let mut e = entry();
         let d = e.begin_request(&write(1), 0);
         e.complete_grant(c(1), d.grant); // M owner: core 1
+
         // Demote core 0 first so its read is remote.
         e.classifier.on_sharer_removed(c(0), 1, RemovalReason::Eviction);
         let d = e.begin_request(&read(0), 5);

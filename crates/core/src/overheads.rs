@@ -81,8 +81,7 @@ pub fn storage_report(cfg: &SystemConfig) -> StorageReport {
     // L1 tag extensions: utilization bits per line over both L1s (§3.6
     // neglects this — we report it). The Timestamp variant also stores a
     // 64-bit last-access timestamp per L1 line.
-    let l1_lines =
-        (cfg.l1i.num_lines(cfg.line_bytes) + cfg.l1d.num_lines(cfg.line_bytes)) as u64;
+    let l1_lines = (cfg.l1i.num_lines(cfg.line_bytes) + cfg.l1d.num_lines(cfg.line_bytes)) as u64;
     let l1_bits_per_line = l1_util_bits + timestamp_bits;
     let l1_kb = (l1_bits_per_line as u64 * l1_lines) as f64 / 8.0 / 1024.0;
 
@@ -191,7 +190,11 @@ mod tests {
         // Limited_3 stays modest at the same core count.
         cfg.classifier.tracking = TrackingKind::Limited { k: 3 };
         let r = storage_report(&cfg);
-        assert!(r.overhead_vs_baseline < 0.10, "Limited_3 at 1024 cores: {:.3}", r.overhead_vs_baseline);
+        assert!(
+            r.overhead_vs_baseline < 0.10,
+            "Limited_3 at 1024 cores: {:.3}",
+            r.overhead_vs_baseline
+        );
     }
 
     #[test]

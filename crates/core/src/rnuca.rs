@@ -86,7 +86,9 @@ impl Rnuca {
     pub fn home_for(&mut self, line: LineAddr, requester: CoreId) -> CoreId {
         match self.classify(line.page(), requester) {
             RegionClass::PrivateTo(owner) => owner,
-            RegionClass::Shared => CoreId::new((Self::mix(line.raw()) % self.num_cores as u64) as usize),
+            RegionClass::Shared => {
+                CoreId::new((Self::mix(line.raw()) % self.num_cores as u64) as usize)
+            }
             RegionClass::Instruction => {
                 // Rotational interleaving within the requester's cluster.
                 let base = (requester.index() / self.cluster) * self.cluster;

@@ -303,10 +303,7 @@ mod tests {
         assert_eq!(t.invalidation_plan(None), None);
         t.add(c(1));
         t.add(c(2));
-        assert_eq!(
-            t.invalidation_plan(None),
-            Some(InvalidationPlan::Unicast(vec![c(1), c(2)]))
-        );
+        assert_eq!(t.invalidation_plan(None), Some(InvalidationPlan::Unicast(vec![c(1), c(2)])));
         // Skip the requester during an upgrade.
         assert_eq!(t.invalidation_plan(Some(c(1))), Some(InvalidationPlan::Unicast(vec![c(2)])));
         assert_eq!(t.invalidation_plan(Some(c(9))).unwrap().expected_acks(), 2);

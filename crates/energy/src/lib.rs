@@ -224,12 +224,14 @@ mod tests {
     #[test]
     fn charge_maps_components() {
         let p = EnergyParams::isca13_11nm();
-        let mut c = EnergyCounts::default();
-        c.l1i_reads = 10;
-        c.l2_word_reads = 3;
-        c.dir_updates = 7;
-        c.router_flits = 11;
-        c.link_flits = 13;
+        let c = EnergyCounts {
+            l1i_reads: 10,
+            l2_word_reads: 3,
+            dir_updates: 7,
+            router_flits: 11,
+            link_flits: 13,
+            ..Default::default()
+        };
         let e = p.charge(&c);
         assert!((e.l1i - 10.0 * p.l1i_read).abs() < 1e-9);
         assert!((e.l2 - 3.0 * p.l2_word_read).abs() < 1e-9);

@@ -17,7 +17,10 @@ fn main() {
     let results = run_jobs(jobs, cli.scale, cli.quiet);
 
     let mut csv = open_results_file("ackwise_vs_fullmap.csv");
-    csv_row(&mut csv, &"benchmark,completion_ratio,energy_ratio".split(',').map(String::from).collect::<Vec<_>>());
+    csv_row(
+        &mut csv,
+        &"benchmark,completion_ratio,energy_ratio".split(',').map(String::from).collect::<Vec<_>>(),
+    );
 
     println!("\nBaseline check: ACKwise4 / Full-map at PCT=1 (1.0 = identical)");
     let t = Table::new(&[14, 16, 12]);

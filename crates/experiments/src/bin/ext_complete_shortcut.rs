@@ -43,12 +43,20 @@ fn main() {
     let mut csv = open_results_file("ext_complete_shortcut.csv");
     csv_row(
         &mut csv,
-        &"benchmark,variant,completion_norm,energy_norm".split(',').map(String::from).collect::<Vec<_>>(),
+        &"benchmark,variant,completion_norm,energy_norm"
+            .split(',')
+            .map(String::from)
+            .collect::<Vec<_>>(),
     );
 
     println!("\nExtension: Complete + learning shortcut (normalized to plain Complete, PCT=4)");
     let t = Table::new(&[14, 11, 11, 11, 11, 11, 11]);
-    t.row(&"benchmark,Compl t,SC t,Lim3 t,Compl e,SC e,Lim3 e".split(',').map(String::from).collect::<Vec<_>>());
+    t.row(
+        &"benchmark,Compl t,SC t,Lim3 t,Compl e,SC e,Lim3 e"
+            .split(',')
+            .map(String::from)
+            .collect::<Vec<_>>(),
+    );
     t.sep();
     let mut sc_t = Vec::new();
     let mut lim_t = Vec::new();

@@ -46,7 +46,12 @@ fn main() {
 
     println!("\nExtension: adaptive (PCT=4) vs baseline (PCT=1) across machine sizes");
     let t = Table::new(&[8, 14, 14, 14]);
-    t.row(&"cores,geomean energy,geomean time,avg hops".split(',').map(String::from).collect::<Vec<_>>());
+    t.row(
+        &"cores,geomean energy,geomean time,avg hops"
+            .split(',')
+            .map(String::from)
+            .collect::<Vec<_>>(),
+    );
     t.sep();
     for &cores in &CORE_COUNTS {
         let mut energies = Vec::new();

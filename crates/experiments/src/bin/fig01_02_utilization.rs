@@ -11,18 +11,13 @@ use lacc_model::UtilizationHistogram;
 fn main() {
     let cli = Cli::parse();
     let cfg = cli.base_config().with_pct(1);
-    let jobs = cli
-        .benchmarks()
-        .into_iter()
-        .map(|b| ("pct1".to_string(), b, cfg.clone()))
-        .collect();
+    let jobs = cli.benchmarks().into_iter().map(|b| ("pct1".to_string(), b, cfg.clone())).collect();
     let results = run_jobs(jobs, cli.scale, cli.quiet);
 
     let mut csv = open_results_file("fig01_02_utilization.csv");
     csv_row(
         &mut csv,
-        &["benchmark,kind,u1,u2-3,u4-5,u6-7,u8+".split(',').map(String::from).collect::<Vec<_>>(),]
-            .concat(),
+        &"benchmark,kind,u1,u2-3,u4-5,u6-7,u8+".split(',').map(String::from).collect::<Vec<_>>(),
     );
 
     for (title, pick) in [
@@ -42,7 +37,8 @@ fn main() {
             let mut row = vec![b.name().to_string()];
             row.extend(f.iter().map(|v| format!("{:.1}", 100.0 * v)));
             t.row(&row);
-            let mut cells = vec![b.name().to_string(), if pick == 0 { "inval" } else { "evict" }.into()];
+            let mut cells =
+                vec![b.name().to_string(), if pick == 0 { "inval" } else { "evict" }.into()];
             cells.extend(f.iter().map(|v| format!("{:.4}", v)));
             csv_row(&mut csv, &cells);
         }

@@ -29,8 +29,12 @@ fn main() {
 
     println!("\nFigure 8: Energy breakdown vs PCT (normalized to PCT=1)");
     let t = Table::new(&[14, 4, 7, 7, 7, 7, 7, 7, 9]);
-    t.row(&["benchmark,PCT,L1-I,L1-D,L2,Dir,Router,Link,Total".split(',').map(String::from).collect::<Vec<_>>()]
-        .concat());
+    t.row(
+        &"benchmark,PCT,L1-I,L1-D,L2,Dir,Router,Link,Total"
+            .split(',')
+            .map(String::from)
+            .collect::<Vec<_>>(),
+    );
     t.sep();
 
     let mut per_pct_totals: Vec<Vec<f64>> = vec![Vec::new(); FIG89_PCTS.len()];

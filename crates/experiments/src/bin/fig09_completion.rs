@@ -30,10 +30,12 @@ fn main() {
 
     println!("\nFigure 9: Completion-time breakdown vs PCT (normalized to PCT=1)");
     let t = Table::new(&[14, 4, 8, 8, 8, 8, 8, 8, 9]);
-    t.row(&"benchmark,PCT,Compute,L1-L2,L2Wait,L2Shrs,OffChip,Sync,Total"
-        .split(',')
-        .map(String::from)
-        .collect::<Vec<_>>());
+    t.row(
+        &"benchmark,PCT,Compute,L1-L2,L2Wait,L2Shrs,OffChip,Sync,Total"
+            .split(',')
+            .map(String::from)
+            .collect::<Vec<_>>(),
+    );
     t.sep();
 
     let mut per_pct: Vec<Vec<f64>> = vec![Vec::new(); FIG89_PCTS.len()];
@@ -49,7 +51,9 @@ fn main() {
             per_pct[pi].push(norm);
             let mut row = vec![b.name().to_string(), pct.to_string()];
             row.extend(
-                bd.components().iter().map(|(_, v)| format!("{:.3}", norm * *v as f64 / stack_total)),
+                bd.components()
+                    .iter()
+                    .map(|(_, v)| format!("{:.3}", norm * *v as f64 / stack_total)),
             );
             row.push(format!("{norm:.3}"));
             t.row(&row);

@@ -31,10 +31,12 @@ fn main() {
 
     println!("\nFigure 10: L1-D miss rate (%) and miss-type breakdown vs PCT");
     let t = Table::new(&[14, 4, 9, 9, 9, 9, 9, 9]);
-    t.row(&"benchmark,PCT,miss%,Cold,Capacity,Upgrade,Sharing,Word"
-        .split(',')
-        .map(String::from)
-        .collect::<Vec<_>>());
+    t.row(
+        &"benchmark,PCT,miss%,Cold,Capacity,Upgrade,Sharing,Word"
+            .split(',')
+            .map(String::from)
+            .collect::<Vec<_>>(),
+    );
     t.sep();
     for b in cli.benchmarks() {
         for &pct in &FIG10_PCTS {

@@ -19,7 +19,10 @@ fn main() {
     let results = run_jobs(jobs, cli.scale, cli.quiet);
 
     let mut csv = open_results_file("fig11_pct_sweep.csv");
-    csv_row(&mut csv, &"pct,geomean_completion,geomean_energy".split(',').map(String::from).collect::<Vec<_>>());
+    csv_row(
+        &mut csv,
+        &"pct,geomean_completion,geomean_energy".split(',').map(String::from).collect::<Vec<_>>(),
+    );
 
     println!("\nFigure 11: Geomean completion time and energy vs PCT (normalized to PCT=1)");
     let t = Table::new(&[6, 16, 12]);

@@ -21,7 +21,13 @@ fn main() {
     let results = run_jobs(jobs, cli.scale, cli.quiet);
 
     let mut csv = open_results_file("fig12_rat.csv");
-    csv_row(&mut csv, &"variant,geomean_completion,geomean_energy".split(',').map(String::from).collect::<Vec<_>>());
+    csv_row(
+        &mut csv,
+        &"variant,geomean_completion,geomean_energy"
+            .split(',')
+            .map(String::from)
+            .collect::<Vec<_>>(),
+    );
 
     println!("\nFigure 12: RAT sensitivity at PCT=4 (normalized to Timestamp)");
     let t = Table::new(&[12, 16, 12]);

@@ -25,12 +25,16 @@ fn main() {
     let mut csv = open_results_file("fig13_limitedk.csv");
     csv_row(
         &mut csv,
-        &"benchmark,variant,completion_norm,energy_norm".split(',').map(String::from).collect::<Vec<_>>(),
+        &"benchmark,variant,completion_norm,energy_norm"
+            .split(',')
+            .map(String::from)
+            .collect::<Vec<_>>(),
     );
 
-    for (title, metric) in
-        [("Completion Time (normalized to Complete)", 0usize), ("Energy (normalized to Complete)", 1)]
-    {
+    for (title, metric) in [
+        ("Completion Time (normalized to Complete)", 0usize),
+        ("Energy (normalized to Complete)", 1),
+    ] {
         println!("\nFigure 13: {title}");
         let mut widths = vec![14usize];
         widths.extend(std::iter::repeat(11).take(variants.len()));
@@ -59,10 +63,7 @@ fn main() {
                             b.name().to_string(),
                             label.clone(),
                             format!("{v:.4}"),
-                            format!(
-                                "{:.4}",
-                                r.energy.total() / base.energy.total().max(1e-9)
-                            ),
+                            format!("{:.4}", r.energy.total() / base.energy.total().max(1e-9)),
                         ],
                     );
                 }
@@ -74,5 +75,7 @@ fn main() {
         row.extend(per_variant.iter().map(|v| format!("{:.3}", geomean(v))));
         t.row(&row);
     }
-    println!("\nPaper: Limited-3 stays within ~3% of Complete; Limited-1 misclassifies radix/bodytrack.");
+    println!(
+        "\nPaper: Limited-3 stays within ~3% of Complete; Limited-1 misclassifies radix/bodytrack."
+    );
 }

@@ -23,7 +23,10 @@ fn main() {
     let results = run_jobs(jobs, cli.scale, cli.quiet);
 
     let mut csv = open_results_file("fig14_oneway.csv");
-    csv_row(&mut csv, &"benchmark,completion_ratio,energy_ratio".split(',').map(String::from).collect::<Vec<_>>());
+    csv_row(
+        &mut csv,
+        &"benchmark,completion_ratio,energy_ratio".split(',').map(String::from).collect::<Vec<_>>(),
+    );
 
     println!("\nFigure 14: Adapt1-way / Adapt2-way ratios at PCT=4 (higher = 1-way worse)");
     let t = Table::new(&[14, 16, 12]);
@@ -42,6 +45,10 @@ fn main() {
         csv_row(&mut csv, &[b.name().to_string(), format!("{rt:.4}"), format!("{re:.4}")]);
     }
     t.sep();
-    t.row(&["geomean".to_string(), format!("{:.2}", geomean(&times)), format!("{:.2}", geomean(&energies))]);
+    t.row(&[
+        "geomean".to_string(),
+        format!("{:.2}", geomean(&times)),
+        format!("{:.2}", geomean(&energies)),
+    ]);
     println!("\nPaper: 1-way is worse by ~34% completion / ~13% energy; bodytrack 3.3x, dijkstra-ss 2.3x.");
 }

@@ -14,22 +14,44 @@ fn main() {
     println!("Compute Pipeline per Core       In-Order, Single-Issue");
     println!("Physical Address Length         48 bits");
     println!();
-    println!("L1-I Cache per core             {} KB, {}-way, {} cycle", c.l1i.size_bytes / 1024, c.l1i.associativity, c.l1i.latency);
-    println!("L1-D Cache per core             {} KB, {}-way, {} cycle", c.l1d.size_bytes / 1024, c.l1d.associativity, c.l1d.latency);
-    println!("L2 Cache per core               {} KB, {}-way, {} cycle, Inclusive, R-NUCA", c.l2.size_bytes / 1024, c.l2.associativity, c.l2.latency);
+    println!(
+        "L1-I Cache per core             {} KB, {}-way, {} cycle",
+        c.l1i.size_bytes / 1024,
+        c.l1i.associativity,
+        c.l1i.latency
+    );
+    println!(
+        "L1-D Cache per core             {} KB, {}-way, {} cycle",
+        c.l1d.size_bytes / 1024,
+        c.l1d.associativity,
+        c.l1d.latency
+    );
+    println!(
+        "L2 Cache per core               {} KB, {}-way, {} cycle, Inclusive, R-NUCA",
+        c.l2.size_bytes / 1024,
+        c.l2.associativity,
+        c.l2.latency
+    );
     println!("Cache Line Size                 {} bytes", c.line_bytes);
     match c.directory {
         DirectoryKind::AckWise { pointers } => {
             println!("Directory Protocol              Invalidation-based MESI, ACKwise{pointers}");
         }
-        DirectoryKind::FullMap => println!("Directory Protocol              Invalidation-based MESI, Full-Map"),
+        DirectoryKind::FullMap => {
+            println!("Directory Protocol              Invalidation-based MESI, Full-Map")
+        }
     }
     println!("Num. of Memory Controllers      {}", c.num_mem_ctrls);
     println!("DRAM Bandwidth                  {} GBps per controller", c.dram_bytes_per_cycle);
     println!("DRAM Latency                    {} ns", c.dram_latency);
     println!();
     println!("Electrical 2-D Mesh, XY routing");
-    println!("Hop Latency                     {} cycles ({}-router, {}-link)", c.hop_router_cycles + c.hop_link_cycles, c.hop_router_cycles, c.hop_link_cycles);
+    println!(
+        "Hop Latency                     {} cycles ({}-router, {}-link)",
+        c.hop_router_cycles + c.hop_link_cycles,
+        c.hop_router_cycles,
+        c.hop_link_cycles
+    );
     println!("Contention Model                Only link contention (infinite input buffers)");
     println!("Flit Width                      {} bits", c.flit_bits);
     println!("Header                          1 flit");

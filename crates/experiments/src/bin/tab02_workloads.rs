@@ -4,15 +4,16 @@
 use lacc_experiments::{Cli, Table};
 use lacc_sim::TraceOp;
 
-
 fn main() {
     let cli = Cli::parse();
     println!("Table 2: Problem sizes and generated stand-ins (scale {})", cli.scale);
     let t = Table::new(&[14, 18, 34, 10, 10, 8]);
-    t.row(&"benchmark,suite,paper problem size,mem-ops,stores%,barriers"
-        .split(',')
-        .map(String::from)
-        .collect::<Vec<_>>());
+    t.row(
+        &"benchmark,suite,paper problem size,mem-ops,stores%,barriers"
+            .split(',')
+            .map(String::from)
+            .collect::<Vec<_>>(),
+    );
     t.sep();
     for b in cli.benchmarks() {
         let w = b.build(cli.cores, cli.scale);

@@ -33,10 +33,12 @@ fn main() {
 
     println!("Section 3.6: storage overheads per core ({}-core machine)", cli.cores);
     let t = Table::new(&[30, 12, 12, 12, 12, 10]);
-    t.row(&"configuration,classifier,L1 bits,directory,full-map,overhead"
-        .split(',')
-        .map(String::from)
-        .collect::<Vec<_>>());
+    t.row(
+        &"configuration,classifier,L1 bits,directory,full-map,overhead"
+            .split(',')
+            .map(String::from)
+            .collect::<Vec<_>>(),
+    );
     t.row(&",KB,KB,KB,KB,%".split(',').map(String::from).collect::<Vec<_>>());
     t.sep();
     for (name, cfg) in &variants {

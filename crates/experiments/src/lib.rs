@@ -124,7 +124,8 @@ pub fn run_jobs(
 ) -> HashMap<(String, &'static str), SimReport> {
     let results = Mutex::new(HashMap::new());
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(jobs.len().max(1));
+    let workers =
+        std::thread::available_parallelism().map_or(1, |n| n.get()).min(jobs.len().max(1));
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
@@ -223,15 +224,52 @@ pub const FIG11_PCTS: [u32; 14] = [1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 18, 2
 /// Classifier variants of Figure 12, with the paper's labels.
 #[must_use]
 pub fn fig12_variants() -> Vec<(&'static str, ClassifierConfig)> {
-    let base = ClassifierConfig { tracking: TrackingKind::Complete, ..ClassifierConfig::isca13_default() };
+    let base =
+        ClassifierConfig { tracking: TrackingKind::Complete, ..ClassifierConfig::isca13_default() };
     vec![
         ("Timestamp", ClassifierConfig { mechanism: MechanismKind::Timestamp, ..base }),
-        ("L-1", ClassifierConfig { mechanism: MechanismKind::RatLevels { levels: 1, rat_max: 16 }, ..base }),
-        ("L-2,T-8", ClassifierConfig { mechanism: MechanismKind::RatLevels { levels: 2, rat_max: 8 }, ..base }),
-        ("L-2,T-16", ClassifierConfig { mechanism: MechanismKind::RatLevels { levels: 2, rat_max: 16 }, ..base }),
-        ("L-4,T-8", ClassifierConfig { mechanism: MechanismKind::RatLevels { levels: 4, rat_max: 8 }, ..base }),
-        ("L-4,T-16", ClassifierConfig { mechanism: MechanismKind::RatLevels { levels: 4, rat_max: 16 }, ..base }),
-        ("L-8,T-16", ClassifierConfig { mechanism: MechanismKind::RatLevels { levels: 8, rat_max: 16 }, ..base }),
+        (
+            "L-1",
+            ClassifierConfig {
+                mechanism: MechanismKind::RatLevels { levels: 1, rat_max: 16 },
+                ..base
+            },
+        ),
+        (
+            "L-2,T-8",
+            ClassifierConfig {
+                mechanism: MechanismKind::RatLevels { levels: 2, rat_max: 8 },
+                ..base
+            },
+        ),
+        (
+            "L-2,T-16",
+            ClassifierConfig {
+                mechanism: MechanismKind::RatLevels { levels: 2, rat_max: 16 },
+                ..base
+            },
+        ),
+        (
+            "L-4,T-8",
+            ClassifierConfig {
+                mechanism: MechanismKind::RatLevels { levels: 4, rat_max: 8 },
+                ..base
+            },
+        ),
+        (
+            "L-4,T-16",
+            ClassifierConfig {
+                mechanism: MechanismKind::RatLevels { levels: 4, rat_max: 16 },
+                ..base
+            },
+        ),
+        (
+            "L-8,T-16",
+            ClassifierConfig {
+                mechanism: MechanismKind::RatLevels { levels: 8, rat_max: 16 },
+                ..base
+            },
+        ),
     ]
 }
 
@@ -277,7 +315,10 @@ mod tests {
     #[test]
     fn fig12_has_paper_labels() {
         let labels: Vec<&str> = fig12_variants().iter().map(|(l, _)| *l).collect();
-        assert_eq!(labels, vec!["Timestamp", "L-1", "L-2,T-8", "L-2,T-16", "L-4,T-8", "L-4,T-16", "L-8,T-16"]);
+        assert_eq!(
+            labels,
+            vec!["Timestamp", "L-1", "L-2,T-8", "L-2,T-16", "L-4,T-8", "L-4,T-16", "L-8,T-16"]
+        );
     }
 
     #[test]

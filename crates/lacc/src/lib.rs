@@ -45,6 +45,8 @@ pub mod prelude {
     pub use lacc_model::config::{ClassifierConfig, MechanismKind, TrackingKind};
     pub use lacc_model::{Addr, CoreId, LineAddr, MissClass, SystemConfig};
     pub use lacc_sim::trace::default_instr_base;
-    pub use lacc_sim::{RegionDecl, SimReport, Simulator, TraceOp, TraceSource, VecTrace, Workload};
+    pub use lacc_sim::{
+        RegionDecl, SimReport, Simulator, TraceOp, TraceSource, VecTrace, Workload,
+    };
     pub use lacc_workloads::{Benchmark, Phases, Region};
 }

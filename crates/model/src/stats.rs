@@ -195,8 +195,13 @@ pub enum MissClass {
 
 impl MissClass {
     /// All miss classes in Figure 10's stacking order.
-    pub const ALL: [MissClass; 5] =
-        [MissClass::Cold, MissClass::Capacity, MissClass::Upgrade, MissClass::Sharing, MissClass::Word];
+    pub const ALL: [MissClass; 5] = [
+        MissClass::Cold,
+        MissClass::Capacity,
+        MissClass::Upgrade,
+        MissClass::Sharing,
+        MissClass::Word,
+    ];
 
     /// Stable index of this class into arrays of five counters.
     #[must_use]
@@ -283,8 +288,8 @@ impl Add for MissStats {
     type Output = Self;
     fn add(self, rhs: Self) -> Self {
         let mut misses = [0u64; 5];
-        for i in 0..5 {
-            misses[i] = self.misses[i] + rhs.misses[i];
+        for (m, (a, b)) in misses.iter_mut().zip(self.misses.iter().zip(rhs.misses.iter())) {
+            *m = a + b;
         }
         MissStats { hits: self.hits + rhs.hits, misses }
     }
@@ -436,7 +441,8 @@ mod tests {
 
     #[test]
     fn energy_breakdown_total() {
-        let e = EnergyBreakdown { l1i: 1.0, l1d: 2.0, l2: 3.0, directory: 0.5, router: 1.5, link: 2.0 };
+        let e =
+            EnergyBreakdown { l1i: 1.0, l1d: 2.0, l2: 3.0, directory: 0.5, router: 1.5, link: 2.0 };
         assert!((e.total() - 10.0).abs() < 1e-12);
         let d = e + e;
         assert!((d.total() - 20.0).abs() < 1e-12);

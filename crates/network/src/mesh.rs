@@ -200,11 +200,12 @@ mod tests {
     #[test]
     fn contention_serializes_same_link() {
         let mut net = MeshNetwork::new(4, 1, 1); // 2x2
+
         // Two 8-flit messages over the same single link 0->1 at t=0.
         let a = net.unicast(t(0), t(1), 8, 0);
         let b = net.unicast(t(0), t(1), 8, 0);
         assert_eq!(a, 2 + 7); // 1 hop * 2 + 7
-        // Second message departs when the link frees at t=8.
+                              // Second message departs when the link frees at t=8.
         assert_eq!(b, 8 + 2 + 7);
         assert_eq!(net.stats().contention_cycles, 8);
     }

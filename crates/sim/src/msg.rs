@@ -179,12 +179,16 @@ mod tests {
             9,
             "header + 8 data flits for a 64-byte line"
         );
-        assert_eq!(Payload::WordReadReply { value: 0, ann: LatencyAnnotation::default() }.flits(), 2);
+        assert_eq!(
+            Payload::WordReadReply { value: 0, ann: LatencyAnnotation::default() }.flits(),
+            2
+        );
         assert_eq!(Payload::Inv { back: false }.flits(), 1);
         // §3.6: the utilization counter rides the header — a clean ack or
         // notify is a single flit.
         assert_eq!(
-            Payload::InvAck { util: 3, dirty: false, data: LineData::zeroed(), back: false }.flits(),
+            Payload::InvAck { util: 3, dirty: false, data: LineData::zeroed(), back: false }
+                .flits(),
             1
         );
         assert_eq!(

@@ -2,9 +2,7 @@
 
 use lacc_dram::DramStats;
 use lacc_energy::EnergyCounts;
-use lacc_model::{
-    CompletionBreakdown, Cycle, EnergyBreakdown, MissStats, UtilizationHistogram,
-};
+use lacc_model::{CompletionBreakdown, Cycle, EnergyBreakdown, MissStats, UtilizationHistogram};
 use lacc_network::NetStats;
 
 use crate::monitor::MonitorReport;

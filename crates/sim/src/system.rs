@@ -262,11 +262,19 @@ impl Simulator {
             rnuca.declare_lines(r.first_line, r.lines, r.class);
         }
         if workload.instr_lines > 0 {
-            rnuca.declare_lines(workload.instr_base, workload.instr_lines, RegionClass::Instruction);
+            rnuca.declare_lines(
+                workload.instr_base,
+                workload.instr_lines,
+                RegionClass::Instruction,
+            );
         }
         let net = MeshNetwork::new(cfg.num_cores, cfg.hop_router_cycles, cfg.hop_link_cycles);
-        let dram =
-            DramSystem::new(cfg.num_mem_ctrls, cfg.num_cores, cfg.dram_latency, cfg.dram_bytes_per_cycle);
+        let dram = DramSystem::new(
+            cfg.num_mem_ctrls,
+            cfg.num_cores,
+            cfg.dram_latency,
+            cfg.dram_bytes_per_cycle,
+        );
         let active = workload.active_cores().max(1);
         let mut traces: Vec<Option<Box<dyn TraceSource>>> =
             workload.traces.into_iter().map(Some).collect();
@@ -382,7 +390,13 @@ impl Simulator {
             let dst = CoreId::new(t);
             self.schedule(
                 at,
-                Event::Deliver(Message { src, dst, line, payload: Payload::Inv { back }, sent: now }),
+                Event::Deliver(Message {
+                    src,
+                    dst,
+                    line,
+                    payload: Payload::Inv { back },
+                    sent: now,
+                }),
             );
         }
     }
@@ -453,7 +467,17 @@ impl Simulator {
                 }
                 let miss = self.cores[ci].miss_class.classify(line, false);
                 self.cores[ci].l1i_stats.record_miss(miss);
-                self.issue_request(ci, line, 0, false, 0, true, clock);
+                self.issue_request(
+                    ci,
+                    Outstanding {
+                        line,
+                        word: 0,
+                        is_store: false,
+                        value: 0,
+                        issue_time: clock,
+                        instr: true,
+                    },
+                );
                 self.cores[ci].blocked = Blocked::IFetch;
                 return false;
             }
@@ -467,19 +491,16 @@ impl Simulator {
     fn exec_op(&mut self, ci: usize, op: TraceOp, now: Cycle) -> bool {
         // Instruction fetch for the op itself (memory ops are instructions
         // too; sync ops are abstract and free).
-        match op {
-            TraceOp::Load { .. } | TraceOp::Store { .. } => {
-                if !self.cores[ci].replay_ifetched {
-                    if !self.fetch_instr(ci, now) {
-                        self.cores[ci].replay = Some(op);
-                        return false;
-                    }
-                    self.cores[ci].replay_ifetched = true;
-                    self.cores[ci].instructions += 1;
-                    self.counts.l1i_reads += 1;
-                }
+        if matches!(op, TraceOp::Load { .. } | TraceOp::Store { .. })
+            && !self.cores[ci].replay_ifetched
+        {
+            if !self.fetch_instr(ci, now) {
+                self.cores[ci].replay = Some(op);
+                return false;
             }
-            _ => {}
+            self.cores[ci].replay_ifetched = true;
+            self.cores[ci].instructions += 1;
+            self.counts.l1i_reads += 1;
         }
 
         let done = match op {
@@ -507,7 +528,17 @@ impl Simulator {
                     self.counts.l1d_tag_probes += 1;
                     let miss = self.cores[ci].miss_class.classify(line, false);
                     self.cores[ci].l1d_stats.record_miss(miss);
-                    self.issue_request(ci, line, word, false, 0, false, clock);
+                    self.issue_request(
+                        ci,
+                        Outstanding {
+                            line,
+                            word,
+                            is_store: false,
+                            value: 0,
+                            issue_time: clock,
+                            instr: false,
+                        },
+                    );
                     self.cores[ci].blocked = Blocked::Data;
                     // The op is consumed (its completion happens at reply
                     // delivery); reset the per-op fetch flag.
@@ -538,14 +569,26 @@ impl Simulator {
                         self.counts.l1d_tag_probes += 1;
                         let miss = self.cores[ci].miss_class.classify(line, upgrade);
                         self.cores[ci].l1d_stats.record_miss(miss);
-                        self.issue_request(ci, line, word, true, value, false, clock);
+                        self.issue_request(
+                            ci,
+                            Outstanding {
+                                line,
+                                word,
+                                is_store: true,
+                                value,
+                                issue_time: clock,
+                                instr: false,
+                            },
+                        );
                         self.cores[ci].blocked = Blocked::Data;
                         self.cores[ci].replay_ifetched = false;
                         false
                     }
                 }
             }
-            TraceOp::Barrier { id } => self.sync_op(ci, op, now, |s, c, t| s.barrier_arrive(id, c, t)),
+            TraceOp::Barrier { id } => {
+                self.sync_op(ci, op, now, |s, c, t| s.barrier_arrive(id, c, t))
+            }
             TraceOp::Acquire { id } => self.sync_op(ci, op, now, |s, c, t| s.acquire(id, c, t)),
             TraceOp::Release { id } => self.sync_op(ci, op, now, |s, c, t| s.release(id, c, t)),
         };
@@ -598,16 +641,8 @@ impl Simulator {
         }
     }
 
-    fn issue_request(
-        &mut self,
-        ci: usize,
-        line: LineAddr,
-        word: usize,
-        is_store: bool,
-        value: u64,
-        instr: bool,
-        clock: Cycle,
-    ) {
+    fn issue_request(&mut self, ci: usize, req: Outstanding) {
+        let Outstanding { line, word, is_store, value, issue_time: clock, instr } = req;
         let src = CoreId::new(ci);
         let home = self.home_of(line, src);
         let hints = if instr {
@@ -620,8 +655,7 @@ impl Simulator {
         } else {
             Payload::ReadReq { hints, word, instr }
         };
-        self.cores[ci].outstanding =
-            Some(Outstanding { line, word, is_store, value, issue_time: clock, instr });
+        self.cores[ci].outstanding = Some(req);
         self.send(src, home, line, payload, clock);
     }
 
@@ -636,7 +670,9 @@ impl Simulator {
             | Payload::GrantUpgrade { .. }
             | Payload::WordReadReply { .. }
             | Payload::WordWriteAck { .. } => self.core_resume(msg, now),
-            Payload::Inv { back } => self.l1_invalidate(msg.dst.index(), msg.src, msg.line, back, now),
+            Payload::Inv { back } => {
+                self.l1_invalidate(msg.dst.index(), msg.src, msg.line, back, now)
+            }
             Payload::InvAck { util, dirty, data, back } => {
                 self.home_inv_ack(msg.dst.index(), msg.src, msg.line, util, dirty, data, back, now);
             }
@@ -681,7 +717,9 @@ impl Simulator {
     fn start_home_txn(&mut self, tile: usize, msg: Message, arrival: Cycle, now: Cycle) {
         let (kind, hints, word, value, instr) = match msg.payload {
             Payload::ReadReq { hints, word, instr } => (AccessKind::Read, hints, word, 0, instr),
-            Payload::WriteReq { hints, word, value } => (AccessKind::Write, hints, word, value, false),
+            Payload::WriteReq { hints, word, value } => {
+                (AccessKind::Write, hints, word, value, false)
+            }
             _ => unreachable!("only requests start transactions"),
         };
         self.counts.l2_tag_probes += 1;
@@ -785,7 +823,13 @@ impl Simulator {
             None => {
                 if vmeta.dirty {
                     let ctrl_tile = self.dram.tile_of(self.dram.ctrl_for_line(vline));
-                    self.send(home, ctrl_tile, vline, Payload::DramWriteBack { data: vmeta.data }, now);
+                    self.send(
+                        home,
+                        ctrl_tile,
+                        vline,
+                        Payload::DramWriteBack { data: vmeta.data },
+                        now,
+                    );
                 }
             }
             Some(plan) => {
@@ -1058,11 +1102,8 @@ impl Simulator {
             unreachable!("grant without transaction");
         };
         let decision = txn.decision.expect("granting after decision");
-        let ann = LatencyAnnotation {
-            waiting: txn.wait,
-            sharers: txn.sharers_lat,
-            offchip: txn.offchip,
-        };
+        let ann =
+            LatencyAnnotation { waiting: txn.wait, sharers: txn.sharers_lat, offchip: txn.offchip };
         let home = CoreId::new(tile);
         if decision.outcome.promoted {
             self.protocol.promotions += 1;
@@ -1248,13 +1289,10 @@ impl Simulator {
         counts.router_flits = net.router_flits;
         counts.link_flits = net.link_flits;
         let energy = self.energy_params.charge(&counts);
-        let per_core: Vec<CompletionBreakdown> = (0..self.active_cores)
-            .map(|c| self.cores[c].breakdown)
-            .collect();
-        let completion_time = (0..self.active_cores)
-            .map(|c| self.cores[c].clock)
-            .max()
-            .unwrap_or(0);
+        let per_core: Vec<CompletionBreakdown> =
+            (0..self.active_cores).map(|c| self.cores[c].breakdown).collect();
+        let completion_time =
+            (0..self.active_cores).map(|c| self.cores[c].clock).max().unwrap_or(0);
         SimReport {
             workload: self.workload_name,
             completion_time,

@@ -73,11 +73,8 @@ fn pct1_baseline_never_uses_word_accesses() {
     for l in 0..32 {
         t1.push(TraceOp::Load { addr: addr(l, 0) });
     }
-    let r = run(
-        SystemConfig::small_for_tests(4).with_pct(1),
-        vec![t0, t1],
-        vec![shared_region(0, 64)],
-    );
+    let r =
+        run(SystemConfig::small_for_tests(4).with_pct(1), vec![t0, t1], vec![shared_region(0, 64)]);
     assert_eq!(r.monitor.violations, 0);
     assert_eq!(r.protocol.word_reads + r.protocol.word_writes, 0, "PCT=1 is the baseline");
     assert_eq!(r.l1d.of(MissClass::Word), 0);
@@ -98,11 +95,8 @@ fn writer_invalidates_reader_and_sharing_miss_follows() {
         TraceOp::Store { addr: addr(line, 0), value: 7 },
         TraceOp::Barrier { id: 1 },
     ];
-    let r = run(
-        SystemConfig::small_for_tests(4).with_pct(1),
-        vec![t0, t1],
-        vec![shared_region(0, 64)],
-    );
+    let r =
+        run(SystemConfig::small_for_tests(4).with_pct(1), vec![t0, t1], vec![shared_region(0, 64)]);
     assert_eq!(r.monitor.violations, 0);
     assert_eq!(r.l1d.of(MissClass::Sharing), 1, "second read of core 0");
     assert!(r.protocol.invalidations_sent >= 1);
@@ -176,11 +170,8 @@ fn upgrade_miss_keeps_line_and_invalidates_peers() {
         TraceOp::Barrier { id: 1 },
         TraceOp::Load { addr: addr(line, 0) },
     ];
-    let r = run(
-        SystemConfig::small_for_tests(4).with_pct(1),
-        vec![t0, t1],
-        vec![shared_region(0, 64)],
-    );
+    let r =
+        run(SystemConfig::small_for_tests(4).with_pct(1), vec![t0, t1], vec![shared_region(0, 64)]);
     assert_eq!(r.monitor.violations, 0);
     assert_eq!(r.protocol.upgrades, 1, "core 0 upgrades its S copy");
     assert_eq!(r.l1d.of(MissClass::Upgrade), 1);
@@ -303,7 +294,8 @@ fn word_misses_generate_less_network_traffic_than_line_misses() {
     // once and hits follow; compare against PCT=1 where every access after
     // each invalidation is a line move. Simpler assertion: word replies
     // exist and flit counts stay modest.
-    let r = run(SystemConfig::small_for_tests(4), vec![stream(3), writer], vec![shared_region(0, 64)]);
+    let r =
+        run(SystemConfig::small_for_tests(4), vec![stream(3), writer], vec![shared_region(0, 64)]);
     assert_eq!(r.monitor.violations, 0);
     assert!(r.protocol.word_reads > 0);
 }

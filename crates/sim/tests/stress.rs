@@ -22,20 +22,19 @@ struct OpSpec {
 
 fn arb_ops() -> impl Strategy<Value = Vec<OpSpec>> {
     proptest::collection::vec(
-        (0u64..24, 0u64..8, proptest::bool::ANY, 0u8..4).prop_map(|(line, word, is_store, compute)| {
-            OpSpec { line, word, is_store, compute }
-        }),
+        (0u64..24, 0u64..8, proptest::bool::ANY, 0u8..4)
+            .prop_map(|(line, word, is_store, compute)| OpSpec { line, word, is_store, compute }),
         1..120,
     )
 }
 
 fn arb_cfg() -> impl Strategy<Value = SystemConfig> {
     (
-        1u32..6,                       // pct
-        0usize..3,                     // tracking selector
-        proptest::bool::ANY,           // one_way
-        proptest::bool::ANY,           // timestamp vs RAT
-        proptest::bool::ANY,           // full map vs ackwise
+        1u32..6,             // pct
+        0usize..3,           // tracking selector
+        proptest::bool::ANY, // one_way
+        proptest::bool::ANY, // timestamp vs RAT
+        proptest::bool::ANY, // full map vs ackwise
     )
         .prop_map(|(pct, track, one_way, ts, fm)| {
             let mut cfg = SystemConfig::small_for_tests(4).with_pct(pct);

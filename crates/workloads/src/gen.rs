@@ -166,7 +166,8 @@ impl Phases {
         for core in 0..self.cores() {
             for b in 0..blocks {
                 let idx = self.rng.gen_range(0..region.lines);
-                let is_writer = writer_period > 0 && b % writer_period == (core as u32 % writer_period);
+                let is_writer =
+                    writer_period > 0 && b % writer_period == (core as u32 % writer_period);
                 if is_writer {
                     let w = self.rng.gen_range(0..8);
                     self.store(core, region, idx, w);
@@ -335,12 +336,7 @@ impl Phases {
 
     /// Finishes the build: a final barrier, then the workload.
     #[must_use]
-    pub fn finish(
-        mut self,
-        name: &str,
-        regions: Vec<RegionDecl>,
-        instr_lines: u64,
-    ) -> Workload {
+    pub fn finish(mut self, name: &str, regions: Vec<RegionDecl>, instr_lines: u64) -> Workload {
         self.barrier();
         Workload {
             name: name.to_string(),

@@ -385,7 +385,8 @@ impl Benchmark {
                 instr_lines = 24;
                 let graph = Region::shared(0, 2048);
                 decls.push(graph.decl_shared());
-                let stack: Vec<Region> = (0..cores).map(|c| Region::private(c, 4096, 256)).collect();
+                let stack: Vec<Region> =
+                    (0..cores).map(|c| Region::private(c, 4096, 256)).collect();
                 p.graph_walk(&graph, s(1000), 1, 0.2);
                 p.private_stream(&stack, 2, 1, 0.5);
             }
@@ -393,8 +394,10 @@ impl Benchmark {
                 instr_lines = 16;
                 let b_matrix = Region::shared(0, 512);
                 decls.push(b_matrix.decl_shared());
-                let a_rows: Vec<Region> = (0..cores).map(|c| Region::private(c, 4096, 512)).collect();
-                let c_out: Vec<Region> = (0..cores).map(|c| Region::private(c, 8192, 1024)).collect();
+                let a_rows: Vec<Region> =
+                    (0..cores).map(|c| Region::private(c, 4096, 512)).collect();
+                let c_out: Vec<Region> =
+                    (0..cores).map(|c| Region::private(c, 8192, 1024)).collect();
                 p.private_stream(&a_rows, 2, 1, 0.0);
                 p.shared_stream(&b_matrix, 2, 1, 0.0);
                 // Scatter into C: one word per line, recurring passes —

@@ -46,16 +46,24 @@ fn main() {
     let report = Simulator::new(cfg, workload).expect("valid config").run();
 
     println!("== custom-mix on {cores} cores, PCT=4 ==");
-    println!("completion: {} cycles   energy: {:.0} pJ", report.completion_time, report.total_energy());
+    println!(
+        "completion: {} cycles   energy: {:.0} pJ",
+        report.completion_time,
+        report.total_energy()
+    );
     println!("L1-D miss rate: {:.2}%", report.l1d_miss_rate_pct());
     println!("\nmiss classes (Figure 10 taxonomy):");
     for c in MissClass::ALL {
         println!("  {:<9} {:>8}", c.label(), report.l1d.of(c));
     }
     println!("\neviction utilization histogram (Figure 2 bins):");
-    for (label, count) in ["1", "2,3", "4,5", "6,7", ">=8"].iter().zip(report.evict_histogram.bins()) {
+    for (label, count) in
+        ["1", "2,3", "4,5", "6,7", ">=8"].iter().zip(report.evict_histogram.bins())
+    {
         println!("  util {:<4} {:>8}", label, count);
     }
-    println!("\ncoherence: {} reads checked, {} violations",
-        report.monitor.reads_checked, report.monitor.violations);
+    println!(
+        "\ncoherence: {} reads checked, {} violations",
+        report.monitor.reads_checked, report.monitor.violations
+    );
 }

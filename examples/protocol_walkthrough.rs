@@ -44,10 +44,7 @@ fn main() {
 
     println!("\n== 4. The PCT-th access promotes back to private (Figure 4) ==");
     let d = entry.begin_request(&read(reader), 30);
-    println!(
-        "core1 read #4 -> {:?} (promoted: {})",
-        d.grant, d.outcome.promoted
-    );
+    println!("core1 read #4 -> {:?} (promoted: {})", d.grant, d.outcome.promoted);
     entry.complete_grant(reader, d.grant);
 
     println!("\n== 5. Eviction with good utilization stays private ==");

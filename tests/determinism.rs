@@ -36,10 +36,7 @@ fn different_seeded_benchmarks_differ() {
         let w = b.build(8, 0.05);
         Simulator::new(SystemConfig::small_for_tests(8), w).unwrap().run()
     };
-    assert_ne!(
-        fingerprint(&run(Benchmark::Streamcluster)),
-        fingerprint(&run(Benchmark::Canneal))
-    );
+    assert_ne!(fingerprint(&run(Benchmark::Streamcluster)), fingerprint(&run(Benchmark::Canneal)));
 }
 
 #[test]

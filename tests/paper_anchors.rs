@@ -87,10 +87,7 @@ fn anchor_word_misses_do_not_wait_on_sharers() {
     // read-only data.
     let r = run(Benchmark::Raytrace, 16, 2, 0.1);
     assert!(r.protocol.word_reads > 0);
-    assert_eq!(
-        r.protocol.invalidations_sent, 0,
-        "read-only scene data must never invalidate"
-    );
+    assert_eq!(r.protocol.invalidations_sent, 0, "read-only scene data must never invalidate");
 }
 
 #[test]

@@ -1,0 +1,253 @@
+//! Offline shim for the subset of the `criterion` 0.5 API this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the bench suites
+//! link against this minimal harness instead. It mirrors criterion's
+//! runtime contract:
+//!
+//! * under `cargo bench` (cargo passes `--bench` to the target) every
+//!   `Bencher::iter` call is timed over warmup + measured samples and a
+//!   `name  time: [median ns/iter]` line is printed;
+//! * under `cargo test` (no `--bench` argument) each benchmark body runs
+//!   its closure once, so benches are continuously smoke-tested without
+//!   paying measurement time — the same behavior real criterion has.
+//!
+//! Statistical machinery (outlier analysis, HTML reports, comparisons) is
+//! intentionally absent.
+
+use std::time::{Duration, Instant};
+
+/// An opaque barrier against the optimizer, same contract as
+/// `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group. Recorded and echoed in
+/// bench output; no derived rates are computed.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Invoked by `cargo bench`: measure and report.
+    Bench,
+    /// Invoked by `cargo test` (or directly): run each body once.
+    Test,
+}
+
+fn detect_mode() -> Mode {
+    if std::env::args().any(|a| a == "--bench") {
+        Mode::Bench
+    } else {
+        Mode::Test
+    }
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    sample_size: usize,
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, mode: detect_mode() }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.mode, self.sample_size, None, &id.into(), f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None, throughput: None }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(self.criterion.mode, samples, self.throughput, &full, f);
+        self
+    }
+
+    /// Groups report nothing extra on drop; `finish` exists for API parity.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; `iter` is where timing happens.
+pub struct Bencher {
+    mode: Mode,
+    samples: usize,
+    /// Median duration of one iteration, filled in by `iter` in bench mode.
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut body: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.mode == Mode::Test {
+            black_box(body());
+            return;
+        }
+        // Calibrate: grow the per-sample iteration count until one sample
+        // costs ~2ms, so short bodies aren't dominated by timer noise.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(body());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(body());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = Some(per_iter[per_iter.len() / 2]);
+    }
+}
+
+fn run_one<F>(mode: Mode, samples: usize, throughput: Option<Throughput>, name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { mode, samples, result_ns: None };
+    f(&mut b);
+    if mode == Mode::Test {
+        return;
+    }
+    match b.result_ns {
+        Some(ns) => {
+            let tput = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  thrpt: {:.2} Melem/s", n as f64 / ns * 1e3)
+                }
+                Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) => {
+                    format!("  thrpt: {:.2} MiB/s", n as f64 / ns * 1e9 / (1 << 20) as f64)
+                }
+                None => String::new(),
+            };
+            println!("{name:<48} time: {}{tput}", format_ns(ns));
+        }
+        None => println!("{name:<48} (no Bencher::iter call)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1e6 {
+        format!("{:.2} µs/iter", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms/iter", ns / 1e6)
+    } else {
+        format!("{:.3} s/iter", ns / 1e9)
+    }
+}
+
+/// Defines a function running a list of benchmark functions, mirroring
+/// criterion's `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` for a bench target (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        // Unit tests carry no --bench flag, so iter must execute exactly once.
+        let mut c = Criterion::default();
+        let mut runs = 0;
+        c.bench_function("probe", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        g.bench_function("one", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

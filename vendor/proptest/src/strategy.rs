@@ -1,0 +1,187 @@
+//! Strategy combinators: how random inputs are described and sampled.
+
+use crate::TestRng;
+use rand::Rng;
+
+/// A recipe for generating random values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a sampler. `sample` takes `&self` so strategies compose freely and
+/// can be boxed ([`boxed`], [`Union`]).
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps sampled values through `f` (proptest's `prop_map`).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Boxes a strategy, erasing its concrete type (used by `prop_oneof!`).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies of one value type
+/// (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                if hi == <$t>::MAX {
+                    // Avoid overflow in the exclusive upper bound; MAX
+                    // itself then has marginally lower probability, which
+                    // is irrelevant for property sampling.
+                    rng.gen_range(lo..hi) // lossy but total
+                } else {
+                    rng.gen_range(lo..hi + 1)
+                }
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g, H / h);
+
+/// `proptest::collection::vec(element, len_range)`.
+pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    crate::proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 0usize..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn tuples_and_vec_compose(
+            ops in crate::collection::vec((0u8..4, crate::bool::ANY), 1..20),
+        ) {
+            prop_assert!(!ops.is_empty() && ops.len() < 20);
+            for (v, _b) in &ops {
+                prop_assert!(*v < 4);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(b in prop_oneof![Just(true), Just(false)], x in (0u32..5).prop_map(|v| v * 2)) {
+            prop_assert!(x % 2 == 0 && x < 10);
+            prop_assert_eq!(b, b);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline shim for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The build environment has no network access, so instead of the real
+//! crate we vendor a deterministic implementation of exactly the surface
+//! the workloads need: `SmallRng`, `SeedableRng::seed_from_u64`, and the
+//! `Rng` methods `gen`, `gen_bool`, `gen_range`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction the real `SmallRng` uses on 64-bit targets — so streams
+//! are high quality and stable across platforms. Workload generation only
+//! requires determinism and reasonable uniformity, not cryptographic
+//! strength.
+
+pub mod rngs {
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        pub(crate) fn from_u64_seed(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            SmallRng { s: [next(), next(), next(), next()] }
+        }
+
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let out = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+
+    impl crate::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng::from_u64_seed(seed)
+        }
+    }
+}
+
+/// Seeding interface (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from their full domain by `Rng::gen`.
+pub trait Standard: Sized {
+    fn from_u64(raw: u64) -> Self;
+}
+
+macro_rules! impl_standard {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn from_u64(raw: u64) -> Self {
+                raw as $t
+            }
+        }
+    )*};
+}
+impl_standard!(u8, u16, u32, u64, usize);
+
+impl Standard for bool {
+    fn from_u64(raw: u64) -> Self {
+        // Use a high bit: the low bits of some generators are weaker.
+        raw >> 63 == 1
+    }
+}
+
+/// Types usable as `gen_range` bounds.
+pub trait UniformInt: Copy + PartialOrd {
+    fn to_u64(self) -> u64;
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 { self as u64 }
+            #[allow(clippy::cast_possible_truncation)]
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+impl_uniform!(u8, u16, u32, u64, usize);
+
+/// Sampling interface (subset of `rand::Rng`).
+pub trait Rng {
+    fn next_raw(&mut self) -> u64;
+
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_raw())
+    }
+
+    /// Returns `true` with probability `p`. Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        // 53 random bits give an unbiased comparison against an f64 in [0, 1).
+        let unit = (self.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Samples uniformly from `range`. Panics if the range is empty.
+    fn gen_range<T: UniformInt>(&mut self, range: core::ops::Range<T>) -> T {
+        let (lo, hi) = (range.start.to_u64(), range.end.to_u64());
+        assert!(lo < hi, "gen_range called with an empty range");
+        let span = hi - lo;
+        // Debiased multiply-shift (Lemire); the rejection loop runs at most
+        // a handful of times for any span.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let raw = self.next_raw();
+            let (hi128, lo128) = {
+                let wide = raw as u128 * span as u128;
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo128 <= zone {
+                return T::from_u64(lo + hi128);
+            }
+        }
+    }
+}
+
+impl Rng for rngs::SmallRng {
+    fn next_raw(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rough_frequency() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let hits = (0..20_000).filter(|_| r.gen_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((0.22..0.28).contains(&frac), "frequency {frac} far from 0.25");
+    }
+}
