@@ -1,0 +1,91 @@
+//! Dump any suite workload to a LACC Trace Format (`.ltf`) file.
+//!
+//! The dumped file is a durable, replayable artifact: feed it back through
+//! `trace_replay` (or `lacc_sim::ltf::read_workload`) to reproduce the
+//! exact simulation the in-memory generator would drive. See `docs/LTF.md`
+//! for the format.
+//!
+//! ```text
+//! trace_dump --bench <name> [--cores N] [--scale F] [--out PATH]
+//! ```
+//!
+//! Default output path: `results/<benchmark>.ltf`.
+
+use lacc_sim::ltf;
+use lacc_workloads::Benchmark;
+
+struct Args {
+    bench: Benchmark,
+    cores: usize,
+    scale: f64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut bench = None;
+    let mut cores = 64;
+    let mut scale = 1.0;
+    let mut out = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => {
+                i += 1;
+                bench = Some(
+                    Benchmark::by_name(&args[i])
+                        .unwrap_or_else(|| panic!("unknown benchmark '{}'", args[i])),
+                );
+            }
+            "--cores" => {
+                i += 1;
+                cores = args[i].parse().expect("--cores takes an integer");
+            }
+            "--scale" => {
+                i += 1;
+                scale = args[i].parse().expect("--scale takes a float");
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args[i].clone());
+            }
+            other => panic!("unknown flag '{other}' (try --bench/--cores/--scale/--out)"),
+        }
+        i += 1;
+    }
+    let bench =
+        bench.expect("usage: trace_dump --bench <name> [--cores N] [--scale F] [--out PATH]");
+    Args { bench, cores, scale, out }
+}
+
+fn main() {
+    let args = parse_args();
+    let path = args.out.clone().unwrap_or_else(|| format!("results/{}.ltf", args.bench.name()));
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+
+    let summary = args
+        .bench
+        .dump_ltf(args.cores, args.scale, &path)
+        .unwrap_or_else(|e| panic!("dump failed: {e}"));
+
+    let file = std::fs::File::open(&path).expect("re-open dumped trace");
+    let header =
+        ltf::reader::read_header(&mut std::io::BufReader::new(file)).expect("dumped trace decodes");
+    println!(
+        "wrote {path}: workload '{}', {} cores, {} regions, instr footprint {} lines",
+        header.name,
+        header.num_cores,
+        header.regions.len(),
+        header.instr_lines,
+    );
+    println!(
+        "  {} ops total ({} bytes, {:.2} bytes/op)",
+        summary.total_ops(),
+        summary.bytes,
+        summary.bytes as f64 / summary.total_ops().max(1) as f64,
+    );
+}

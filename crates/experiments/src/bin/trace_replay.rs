@@ -1,0 +1,95 @@
+//! Replay a `.ltf` trace file through the simulator and print the
+//! standard report.
+//!
+//! The trace is decoded lazily with bounded memory (one buffered handle
+//! per core); the run is bit-identical to simulating the workload the
+//! file was dumped from.
+//!
+//! ```text
+//! trace_replay <file.ltf> [--cores N] [--pct N] [--small]
+//! ```
+//!
+//! `--cores` defaults to the trace's own core count; `--small` swaps the
+//! Table-1 machine for the reduced test configuration (what the repo's
+//! tests use at small scales).
+
+use lacc_experiments::config_for_cores;
+use lacc_model::SystemConfig;
+use lacc_sim::{ltf, Simulator};
+
+struct Args {
+    path: String,
+    cores: Option<usize>,
+    pct: Option<u32>,
+    small: bool,
+}
+
+fn parse_args() -> Args {
+    let mut path = None;
+    let mut cores = None;
+    let mut pct = None;
+    let mut small = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cores" => {
+                i += 1;
+                cores = Some(args[i].parse().expect("--cores takes an integer"));
+            }
+            "--pct" => {
+                i += 1;
+                pct = Some(args[i].parse().expect("--pct takes an integer"));
+            }
+            "--small" => small = true,
+            flag if flag.starts_with("--") => {
+                panic!("unknown flag '{flag}' (try --cores/--pct/--small)")
+            }
+            file => {
+                assert!(path.is_none(), "exactly one trace file expected");
+                path = Some(file.to_string());
+            }
+        }
+        i += 1;
+    }
+    let path = path.expect("usage: trace_replay <file.ltf> [--cores N] [--pct N] [--small]");
+    Args { path, cores, pct, small }
+}
+
+fn main() {
+    let args = parse_args();
+    let workload = ltf::read_workload(&args.path).unwrap_or_else(|e| {
+        eprintln!("error: cannot replay '{}': {e}", args.path);
+        std::process::exit(1);
+    });
+
+    let cores = args.cores.unwrap_or_else(|| workload.active_cores().max(1));
+    assert!(
+        cores >= workload.active_cores(),
+        "trace has {} cores but the machine only {cores}",
+        workload.active_cores(),
+    );
+    let mut cfg =
+        if args.small { SystemConfig::small_for_tests(cores) } else { config_for_cores(cores) };
+    if let Some(pct) = args.pct {
+        cfg = cfg.with_pct(pct);
+    }
+
+    println!(
+        "replaying '{}' ({} cores, {} regions) on a {cores}-core machine (PCT {})",
+        workload.name,
+        workload.active_cores(),
+        workload.regions.len(),
+        cfg.classifier.pct,
+    );
+    let report = Simulator::new(cfg, workload).expect("valid replay configuration").run();
+    println!("{}", report.summary());
+    println!(
+        "  network: {} flits   dram: {} accesses   promotions: {}   demotions: {}",
+        report.net.link_flits,
+        report.dram.accesses,
+        report.protocol.promotions,
+        report.protocol.demotions,
+    );
+    assert_eq!(report.monitor.violations, 0, "coherence violated during replay");
+}

@@ -84,20 +84,29 @@ impl Cli {
     /// The machine configuration (Table 1 scaled to `cores`).
     #[must_use]
     pub fn base_config(&self) -> SystemConfig {
-        if self.cores == 64 {
-            SystemConfig::isca13_64core()
-        } else {
-            let mut cfg = SystemConfig::isca13_64core();
-            cfg.num_cores = self.cores;
-            cfg.num_mem_ctrls = cfg.num_mem_ctrls.min(self.cores);
-            if self.cores % cfg.rnuca_cluster != 0 {
-                cfg.rnuca_cluster = 1;
-            }
-            if let TrackingKind::Limited { k } = cfg.classifier.tracking {
-                cfg.classifier.tracking = TrackingKind::Limited { k: k.min(self.cores) };
-            }
-            cfg
+        config_for_cores(self.cores)
+    }
+}
+
+/// The Table-1 machine scaled to `cores`: memory controllers, instruction
+/// clusters and limited-directory k are clamped so the configuration stays
+/// valid at any machine size. Shared by the figure binaries (via
+/// [`Cli::base_config`]) and the trace dump/replay tools.
+#[must_use]
+pub fn config_for_cores(cores: usize) -> SystemConfig {
+    if cores == 64 {
+        SystemConfig::isca13_64core()
+    } else {
+        let mut cfg = SystemConfig::isca13_64core();
+        cfg.num_cores = cores;
+        cfg.num_mem_ctrls = cfg.num_mem_ctrls.min(cores);
+        if cores % cfg.rnuca_cluster != 0 {
+            cfg.rnuca_cluster = 1;
         }
+        if let TrackingKind::Limited { k } = cfg.classifier.tracking {
+            cfg.classifier.tracking = TrackingKind::Limited { k: k.min(cores) };
+        }
+        cfg
     }
 }
 
@@ -326,6 +335,15 @@ mod tests {
         let v = fig13_variants(64);
         assert_eq!(v.len(), 5);
         assert_eq!(v.last().unwrap().0, "Complete");
+    }
+
+    #[test]
+    fn config_for_cores_is_always_valid() {
+        for cores in [1, 2, 4, 6, 8, 16, 64, 100] {
+            let cfg = config_for_cores(cores);
+            assert_eq!(cfg.num_cores, cores);
+            cfg.validate().unwrap_or_else(|e| panic!("{cores} cores: {e}"));
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub use addr::{Addr, LineAddr, PageAddr};
 pub use config::{
     CacheConfig, ClassifierConfig, DirectoryKind, MechanismKind, SystemConfig, TrackingKind,
 };
-pub use error::ConfigError;
+pub use error::{ConfigError, Error, TraceError};
 pub use ids::{CoreId, MemCtrlId};
 pub use stats::{
     CompletionBreakdown, EnergyBreakdown, LatencyAnnotation, MissClass, MissStats,

@@ -43,6 +43,7 @@
 //! # Ok::<(), lacc_model::ConfigError>(())
 //! ```
 
+pub mod ltf;
 pub mod monitor;
 pub mod msg;
 pub mod report;

@@ -1,0 +1,394 @@
+//! Streaming LTF decoding.
+//!
+//! [`read_workload`] is the replay entry point: it validates the entire
+//! file in one buffered pass (header, region table, every op of every
+//! stream), then hands back a [`Workload`] whose per-core traces are
+//! [`LtfTrace`]s — each one a `BufReader` positioned at its core's stream,
+//! decoding one op per [`next_op`](crate::TraceSource::next_op) call.
+//! Memory stays bounded by the read buffers; the file is never slurped
+//! into a `Vec`.
+
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::path::Path;
+
+use lacc_core::rnuca::RegionClass;
+use lacc_model::{Addr, CoreId, LineAddr, TraceError};
+
+use crate::trace::{RegionDecl, TraceOp, TraceSource, Workload};
+
+use super::varint;
+use super::{
+    CLASS_INSTRUCTION, CLASS_PRIVATE, CLASS_SHARED, MAGIC, MAX_CORES, MAX_NAME_LEN, MAX_REGIONS,
+    OP_ACQUIRE, OP_BARRIER, OP_COMPUTE, OP_END, OP_LOAD, OP_RELEASE, OP_STORE, VERSION,
+};
+
+/// Per-core read-buffer size for streaming replay: large enough to
+/// amortize syscalls, small enough that 64 cores stay within a few MiB.
+const STREAM_BUF_BYTES: usize = 64 * 1024;
+
+/// Everything an LTF header declares about its workload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LtfHeader {
+    /// Workload name.
+    pub name: String,
+    /// Number of per-core op streams.
+    pub num_cores: usize,
+    /// Instruction footprint per core, in cache lines.
+    pub instr_lines: u64,
+    /// First line of the text segment.
+    pub instr_base: LineAddr,
+    /// R-NUCA oracle declarations.
+    pub regions: Vec<RegionDecl>,
+}
+
+fn read_exact<R: Read + ?Sized>(
+    r: &mut R,
+    buf: &mut [u8],
+    what: &'static str,
+) -> Result<(), TraceError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated { what }
+        } else {
+            TraceError::from(e)
+        }
+    })
+}
+
+fn read_u8<R: Read + ?Sized>(r: &mut R, what: &'static str) -> Result<u8, TraceError> {
+    let mut byte = [0u8; 1];
+    read_exact(r, &mut byte, what)?;
+    Ok(byte[0])
+}
+
+/// Decodes the header (magic through region table) from `r`, leaving the
+/// cursor at the start of the core offset table.
+///
+/// # Errors
+///
+/// Any [`TraceError`] variant a malformed header can produce: wrong magic,
+/// unsupported version, truncation, over-long varints, undefined region
+/// class tags, out-of-range counts.
+pub fn read_header<R: Read + ?Sized>(r: &mut R) -> Result<LtfHeader, TraceError> {
+    let mut magic = [0u8; 8];
+    read_exact(r, &mut magic, "magic")?;
+    if magic != MAGIC {
+        return Err(TraceError::BadMagic { found: magic.to_vec() });
+    }
+    let version = varint::read_from(r, "version")?;
+    if version != VERSION {
+        return Err(TraceError::UnsupportedVersion { found: version });
+    }
+    let flags = varint::read_from(r, "flags")?;
+    if flags != 0 {
+        return Err(TraceError::Corrupt { what: "reserved flags must be zero" });
+    }
+
+    let name_len = varint::read_from(r, "name length")?;
+    if name_len > MAX_NAME_LEN {
+        return Err(TraceError::Corrupt { what: "name length exceeds limit" });
+    }
+    let mut name_bytes = vec![0u8; name_len as usize];
+    read_exact(r, &mut name_bytes, "name")?;
+    let name = String::from_utf8(name_bytes).map_err(|_| TraceError::BadUtf8 { what: "name" })?;
+
+    let num_cores = varint::read_from(r, "core count")?;
+    if num_cores > MAX_CORES {
+        return Err(TraceError::Corrupt { what: "core count exceeds architecture limit" });
+    }
+    let instr_lines = varint::read_from(r, "instruction footprint")?;
+    let instr_base = LineAddr::new(varint::read_from(r, "instruction base")?);
+
+    let num_regions = varint::read_from(r, "region count")?;
+    if num_regions > MAX_REGIONS {
+        return Err(TraceError::Corrupt { what: "region count exceeds limit" });
+    }
+    let mut regions = Vec::with_capacity(num_regions as usize);
+    for _ in 0..num_regions {
+        let first_line = LineAddr::new(varint::read_from(r, "region first line")?);
+        let lines = varint::read_from(r, "region length")?;
+        let class = match read_u8(r, "region class")? {
+            CLASS_SHARED => RegionClass::Shared,
+            CLASS_INSTRUCTION => RegionClass::Instruction,
+            CLASS_PRIVATE => {
+                let core = varint::read_from(r, "region owner core")?;
+                if core >= MAX_CORES {
+                    return Err(TraceError::Corrupt { what: "region owner core out of range" });
+                }
+                RegionClass::PrivateTo(CoreId::new(core as usize))
+            }
+            tag => return Err(TraceError::BadRegionClass { tag }),
+        };
+        regions.push(RegionDecl { first_line, lines, class });
+    }
+
+    Ok(LtfHeader { name, num_cores: num_cores as usize, instr_lines, instr_base, regions })
+}
+
+/// Reads the fixed-width core offset table that follows the header.
+///
+/// # Errors
+///
+/// [`TraceError::Truncated`] when the table is cut short.
+pub fn read_offsets<R: Read + ?Sized>(r: &mut R, num_cores: usize) -> Result<Vec<u64>, TraceError> {
+    let mut offsets = Vec::with_capacity(num_cores);
+    for _ in 0..num_cores {
+        let mut bytes = [0u8; 8];
+        read_exact(r, &mut bytes, "core offset table")?;
+        offsets.push(u64::from_le_bytes(bytes));
+    }
+    Ok(offsets)
+}
+
+/// Decodes one op record; `Ok(None)` is the end-of-stream marker.
+///
+/// # Errors
+///
+/// [`TraceError::Truncated`] mid-record, [`TraceError::BadOpCode`] on an
+/// undefined opcode, [`TraceError::Corrupt`] when a 32-bit operand
+/// overflows.
+pub fn decode_op<R: Read + ?Sized>(r: &mut R) -> Result<Option<TraceOp>, TraceError> {
+    let read_u32 = |r: &mut R, what| -> Result<u32, TraceError> {
+        u32::try_from(varint::read_from(r, what)?)
+            .map_err(|_| TraceError::Corrupt { what: "32-bit operand overflows" })
+    };
+    let op = match read_u8(r, "opcode")? {
+        OP_END => return Ok(None),
+        OP_COMPUTE => TraceOp::Compute(read_u32(r, "compute count")?),
+        OP_LOAD => TraceOp::Load { addr: Addr::new(varint::read_from(r, "load address")?) },
+        OP_STORE => TraceOp::Store {
+            addr: Addr::new(varint::read_from(r, "store address")?),
+            value: varint::read_from(r, "store value")?,
+        },
+        OP_BARRIER => TraceOp::Barrier { id: read_u32(r, "barrier id")? },
+        OP_ACQUIRE => TraceOp::Acquire { id: read_u32(r, "lock id")? },
+        OP_RELEASE => TraceOp::Release { id: read_u32(r, "lock id")? },
+        code => return Err(TraceError::BadOpCode { code }),
+    };
+    Ok(Some(op))
+}
+
+fn check_offsets(offsets: &[u64], streams_start: u64, len: u64) -> Result<(), TraceError> {
+    for &offset in offsets {
+        // Every stream holds at least its end marker, so a valid offset
+        // points strictly inside the file, at or after the offset table.
+        if offset < streams_start || offset >= len {
+            return Err(TraceError::Corrupt { what: "core offset outside stream area" });
+        }
+    }
+    Ok(())
+}
+
+/// A lazily decoded per-core trace, produced by [`read_workload`].
+///
+/// Implements [`TraceSource`] by decoding one op per call from its own
+/// buffered file handle. The backing file was fully validated when the
+/// workload was opened, so decoding cannot fail for any input that
+/// existed at open time — malformed files are rejected by
+/// [`read_workload`] with a typed error, never here.
+#[derive(Debug)]
+pub struct LtfTrace {
+    reader: BufReader<std::fs::File>,
+    finished: bool,
+}
+
+impl TraceSource for LtfTrace {
+    /// # Panics
+    ///
+    /// Panics if the already-validated backing file fails to decode —
+    /// only possible when it is truncated or rewritten *while the
+    /// simulation replays it*. Ending the stream quietly instead would
+    /// let the run complete with silently wrong statistics.
+    fn next_op(&mut self) -> Option<TraceOp> {
+        if self.finished {
+            return None;
+        }
+        match decode_op(&mut self.reader) {
+            Ok(Some(op)) => Some(op),
+            Ok(None) => {
+                self.finished = true;
+                None
+            }
+            Err(e) => panic!("LTF file changed during replay (validated at open): {e}"),
+        }
+    }
+}
+
+/// Opens a `.ltf` file as a replayable [`Workload`] with streaming
+/// per-core traces.
+///
+/// The whole file is validated first (one buffered sequential pass that
+/// decodes every op and discards it), so any corruption surfaces here as
+/// a typed error rather than during simulation. Each core then gets an
+/// independent buffered handle positioned at its stream.
+///
+/// # Errors
+///
+/// Any [`TraceError`]: I/O failures, bad magic, unsupported version,
+/// truncation anywhere, over-long varints, undefined opcodes or region
+/// classes, offsets outside the file.
+pub fn read_workload<P: AsRef<Path>>(path: P) -> Result<Workload, TraceError> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)?;
+    let len = file.metadata()?.len();
+    let mut r = BufReader::with_capacity(STREAM_BUF_BYTES, file);
+
+    let header = read_header(&mut r)?;
+    let offsets = read_offsets(&mut r, header.num_cores)?;
+    let streams_start = r.stream_position()?;
+    check_offsets(&offsets, streams_start, len)?;
+
+    // Validation pass: decode every stream to its end marker.
+    for &offset in &offsets {
+        r.seek(SeekFrom::Start(offset))?;
+        while decode_op(&mut r)?.is_some() {}
+    }
+
+    let mut traces: Vec<Box<dyn TraceSource>> = Vec::with_capacity(header.num_cores);
+    for &offset in &offsets {
+        let file = std::fs::File::open(path)?;
+        let mut reader = BufReader::with_capacity(STREAM_BUF_BYTES, file);
+        reader.seek(SeekFrom::Start(offset))?;
+        traces.push(Box::new(LtfTrace { reader, finished: false }));
+    }
+
+    Ok(Workload {
+        name: header.name,
+        traces,
+        regions: header.regions,
+        instr_lines: header.instr_lines,
+        instr_base: header.instr_base,
+    })
+}
+
+/// Decodes the header and core offset table from an in-memory LTF image.
+///
+/// # Errors
+///
+/// Same failure modes as [`read_header`] and [`read_offsets`].
+pub fn read_header_bytes(bytes: &[u8]) -> Result<(LtfHeader, Vec<u64>), TraceError> {
+    let mut cursor = std::io::Cursor::new(bytes);
+    let header = read_header(&mut cursor)?;
+    let offsets = read_offsets(&mut cursor, header.num_cores)?;
+    check_offsets(&offsets, cursor.position(), bytes.len() as u64)?;
+    Ok((header, offsets))
+}
+
+/// Eagerly decodes a complete in-memory LTF image: the header plus every
+/// core's ops. The workhorse of round-trip and robustness tests.
+///
+/// # Errors
+///
+/// Any [`TraceError`] a malformed image can produce.
+pub fn read_workload_bytes(bytes: &[u8]) -> Result<(LtfHeader, Vec<Vec<TraceOp>>), TraceError> {
+    let (header, offsets) = read_header_bytes(bytes)?;
+    let mut cores = Vec::with_capacity(header.num_cores);
+    for &offset in &offsets {
+        let mut cursor = std::io::Cursor::new(bytes);
+        cursor.set_position(offset);
+        let mut ops = Vec::new();
+        while let Some(op) = decode_op(&mut cursor)? {
+            ops.push(op);
+        }
+        cores.push(ops);
+    }
+    Ok((header, cores))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ltf::workload_to_ltf_bytes;
+    use crate::trace::{default_instr_base, VecTrace};
+
+    fn sample() -> Workload {
+        Workload {
+            name: "sample".into(),
+            traces: vec![
+                Box::new(VecTrace::new(vec![
+                    TraceOp::Compute(7),
+                    TraceOp::Store { addr: Addr::new(0x1040), value: u64::MAX },
+                    TraceOp::Load { addr: Addr::new(0x1040) },
+                ])),
+                Box::new(VecTrace::new(vec![
+                    TraceOp::Acquire { id: 1 },
+                    TraceOp::Release { id: 1 },
+                    TraceOp::Barrier { id: 0 },
+                ])),
+            ],
+            regions: vec![
+                RegionDecl {
+                    first_line: LineAddr::new(0x41),
+                    lines: 16,
+                    class: RegionClass::Shared,
+                },
+                RegionDecl {
+                    first_line: LineAddr::new(0x100),
+                    lines: 4,
+                    class: RegionClass::PrivateTo(CoreId::new(1)),
+                },
+                RegionDecl {
+                    first_line: LineAddr::new(0x200),
+                    lines: 2,
+                    class: RegionClass::Instruction,
+                },
+            ],
+            instr_lines: 12,
+            instr_base: default_instr_base(),
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip_exactly() {
+        let bytes = workload_to_ltf_bytes(sample()).unwrap();
+        let (header, ops) = read_workload_bytes(&bytes).unwrap();
+        assert_eq!(header.name, "sample");
+        assert_eq!(header.num_cores, 2);
+        assert_eq!(header.instr_lines, 12);
+        assert_eq!(header.instr_base, default_instr_base());
+        assert_eq!(header.regions, sample().regions);
+        assert_eq!(ops[0][1], TraceOp::Store { addr: Addr::new(0x1040), value: u64::MAX });
+        assert_eq!(ops[0].len(), 3);
+        assert_eq!(ops[1].len(), 3);
+    }
+
+    #[test]
+    fn file_round_trip_streams() {
+        let path = std::env::temp_dir().join("lacc_ltf_reader_unit.ltf");
+        sample().dump_ltf(&path).unwrap();
+        let replayed = read_workload(&path).unwrap();
+        assert_eq!(replayed.name, "sample");
+        assert_eq!(replayed.active_cores(), 2);
+        let mut core0 = replayed.traces.into_iter().next().unwrap();
+        assert_eq!(core0.next_op(), Some(TraceOp::Compute(7)));
+        assert_eq!(
+            core0.next_op(),
+            Some(TraceOp::Store { addr: Addr::new(0x1040), value: u64::MAX })
+        );
+        assert_eq!(core0.next_op(), Some(TraceOp::Load { addr: Addr::new(0x1040) }));
+        assert_eq!(core0.next_op(), None);
+        assert_eq!(core0.next_op(), None, "exhausted streams stay exhausted");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zero_core_workload_round_trips() {
+        let w = Workload {
+            name: "none".into(),
+            traces: vec![],
+            regions: vec![],
+            instr_lines: 0,
+            instr_base: default_instr_base(),
+        };
+        let bytes = workload_to_ltf_bytes(w).unwrap();
+        let (header, ops) = read_workload_bytes(&bytes).unwrap();
+        assert_eq!(header.num_cores, 0);
+        assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let e = read_workload("/nonexistent/definitely/not/here.ltf").unwrap_err();
+        assert!(matches!(e, TraceError::Io { .. }));
+    }
+}

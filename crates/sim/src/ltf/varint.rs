@@ -1,0 +1,154 @@
+//! LEB128 variable-length integers, the scalar encoding of LTF.
+//!
+//! Seven value bits per byte, least-significant group first, high bit set
+//! on every byte but the last. A `u64` therefore takes 1–10 bytes; the
+//! 10th byte may only carry the single remaining bit (values `0x00` or
+//! `0x01`), and decoders reject anything longer or larger as
+//! [`TraceError::OverlongVarint`].
+
+use std::io::Read;
+
+use lacc_model::TraceError;
+
+/// Maximum encoded length of a `u64`.
+pub const MAX_LEN: usize = 10;
+
+/// Appends the LEB128 encoding of `value` to `out`.
+///
+/// # Examples
+///
+/// ```
+/// let mut buf = Vec::new();
+/// lacc_sim::ltf::varint::encode(300, &mut buf);
+/// assert_eq!(buf, [0xac, 0x02]);
+/// ```
+pub fn encode(mut value: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// The number of bytes [`encode`] emits for `value`.
+#[must_use]
+pub fn encoded_len(value: u64) -> usize {
+    (64 - value.leading_zeros()).max(1).div_ceil(7) as usize
+}
+
+/// Decodes one varint from the front of `bytes`, returning the value and
+/// the number of bytes consumed.
+///
+/// # Errors
+///
+/// [`TraceError::Truncated`] when `bytes` ends mid-varint,
+/// [`TraceError::OverlongVarint`] when the encoding exceeds 10 bytes or
+/// overflows 64 bits. `what` names the field for the error message.
+pub fn decode(bytes: &[u8], what: &'static str) -> Result<(u64, usize), TraceError> {
+    let mut cursor = bytes;
+    let before = cursor.len();
+    let value = read_from(&mut cursor, what)?;
+    Ok((value, before - cursor.len()))
+}
+
+/// Reads one varint from `r`.
+///
+/// # Errors
+///
+/// Same failure modes as [`decode`], plus [`TraceError::Io`] for
+/// non-EOF I/O failures.
+pub fn read_from<R: Read + ?Sized>(r: &mut R, what: &'static str) -> Result<u64, TraceError> {
+    let mut value: u64 = 0;
+    for i in 0..MAX_LEN {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TraceError::Truncated { what }
+            } else {
+                TraceError::from(e)
+            }
+        })?;
+        let b = byte[0];
+        if i == MAX_LEN - 1 && b > 0x01 {
+            // 9 groups cover 63 bits; the 10th byte may only hold bit 63.
+            return Err(TraceError::OverlongVarint { what });
+        }
+        value |= u64::from(b & 0x7f) << (7 * i);
+        if b & 0x80 == 0 {
+            return Ok(value);
+        }
+    }
+    Err(TraceError::OverlongVarint { what })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) {
+        let mut buf = Vec::new();
+        encode(v, &mut buf);
+        assert_eq!(buf.len(), encoded_len(v), "{v}");
+        let (decoded, used) = decode(&buf, "test").unwrap();
+        assert_eq!(decoded, v);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn known_vectors() {
+        let mut buf = Vec::new();
+        encode(0, &mut buf);
+        assert_eq!(buf, [0x00]);
+        buf.clear();
+        encode(127, &mut buf);
+        assert_eq!(buf, [0x7f]);
+        buf.clear();
+        encode(128, &mut buf);
+        assert_eq!(buf, [0x80, 0x01]);
+    }
+
+    #[test]
+    fn boundary_values_round_trip() {
+        for shift in 0..64 {
+            roundtrip(1u64 << shift);
+            roundtrip((1u64 << shift) - 1);
+        }
+        roundtrip(u64::MAX);
+        assert_eq!(encoded_len(u64::MAX), MAX_LEN);
+    }
+
+    #[test]
+    fn truncated_input_is_typed() {
+        // Continuation bit set, then nothing.
+        let e = decode(&[0x80], "field").unwrap_err();
+        assert_eq!(e, TraceError::Truncated { what: "field" });
+        let e = decode(&[], "field").unwrap_err();
+        assert_eq!(e, TraceError::Truncated { what: "field" });
+    }
+
+    #[test]
+    fn overlong_input_is_typed() {
+        // Eleven continuation bytes can never be a u64.
+        let e = decode(&[0x80; 11], "field").unwrap_err();
+        assert_eq!(e, TraceError::OverlongVarint { what: "field" });
+        // Ten bytes whose last overflows bit 63.
+        let mut bytes = vec![0xff; 9];
+        bytes.push(0x02);
+        let e = decode(&bytes, "field").unwrap_err();
+        assert_eq!(e, TraceError::OverlongVarint { what: "field" });
+        // u64::MAX itself is exactly representable.
+        let mut max = vec![0xff; 9];
+        max.push(0x01);
+        assert_eq!(decode(&max, "field").unwrap(), (u64::MAX, 10));
+    }
+
+    #[test]
+    fn non_canonical_zero_padding_still_decodes() {
+        // 0x80 0x00 is a two-byte zero: wasteful but well-formed LEB128.
+        assert_eq!(decode(&[0x80, 0x00], "z").unwrap(), (0, 2));
+    }
+}

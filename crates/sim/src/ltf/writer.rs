@@ -1,0 +1,289 @@
+//! Serializing [`Workload`]s into LTF streams.
+//!
+//! The writer drains each per-core [`TraceSource`](crate::TraceSource) in
+//! turn, so memory stays bounded by the writer's buffer no matter how long
+//! the traces are. It needs `Write + Seek` because the core offset table
+//! sits in the header but stream lengths are only known after draining:
+//! offsets are backpatched in place once the last stream is written.
+
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+
+use lacc_core::rnuca::RegionClass;
+use lacc_model::TraceError;
+
+use crate::trace::{TraceOp, TraceSource, Workload};
+
+use super::varint;
+use super::{
+    CLASS_INSTRUCTION, CLASS_PRIVATE, CLASS_SHARED, MAGIC, MAX_CORES, MAX_NAME_LEN, MAX_REGIONS,
+    OP_ACQUIRE, OP_BARRIER, OP_COMPUTE, OP_END, OP_LOAD, OP_RELEASE, OP_STORE, VERSION,
+};
+
+/// What a dump wrote: per-core op counts and the total encoded size.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LtfSummary {
+    /// Ops serialized for each core, in core order.
+    pub ops_per_core: Vec<u64>,
+    /// Total bytes of the encoded file.
+    pub bytes: u64,
+}
+
+impl LtfSummary {
+    /// Total ops across all cores.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.ops_per_core.iter().sum()
+    }
+}
+
+struct CountingWriter<'a, W: Write> {
+    inner: &'a mut W,
+    written: u64,
+}
+
+impl<W: Write> CountingWriter<'_, W> {
+    fn put(&mut self, bytes: &[u8]) -> Result<(), TraceError> {
+        self.inner.write_all(bytes)?;
+        self.written += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn put_varint(&mut self, value: u64) -> Result<(), TraceError> {
+        let mut buf = Vec::with_capacity(varint::MAX_LEN);
+        varint::encode(value, &mut buf);
+        self.put(&buf)
+    }
+}
+
+fn encode_op(op: TraceOp, buf: &mut Vec<u8>) {
+    match op {
+        TraceOp::Compute(n) => {
+            buf.push(OP_COMPUTE);
+            varint::encode(u64::from(n), buf);
+        }
+        TraceOp::Load { addr } => {
+            buf.push(OP_LOAD);
+            varint::encode(addr.raw(), buf);
+        }
+        TraceOp::Store { addr, value } => {
+            buf.push(OP_STORE);
+            varint::encode(addr.raw(), buf);
+            varint::encode(value, buf);
+        }
+        TraceOp::Barrier { id } => {
+            buf.push(OP_BARRIER);
+            varint::encode(u64::from(id), buf);
+        }
+        TraceOp::Acquire { id } => {
+            buf.push(OP_ACQUIRE);
+            varint::encode(u64::from(id), buf);
+        }
+        TraceOp::Release { id } => {
+            buf.push(OP_RELEASE);
+            varint::encode(u64::from(id), buf);
+        }
+    }
+}
+
+/// Serializes `workload` to `out`, draining every trace source.
+///
+/// The stream is written front to back; the core offset table is
+/// backpatched at the end, after which the cursor is restored to
+/// end-of-stream so callers can append (nothing in version 1 does).
+///
+/// # Errors
+///
+/// [`TraceError::Io`] on any write or seek failure;
+/// [`TraceError::Corrupt`] when the workload exceeds a decoder limit
+/// (name over [`MAX_NAME_LEN`] bytes, more than [`MAX_CORES`] traces or
+/// [`MAX_REGIONS`] regions) — the encoder refuses to produce a file the
+/// reader would reject.
+pub fn write_workload<W: Write + Seek>(
+    out: &mut W,
+    workload: Workload,
+) -> Result<LtfSummary, TraceError> {
+    if workload.name.len() as u64 > MAX_NAME_LEN {
+        return Err(TraceError::Corrupt { what: "name length exceeds limit" });
+    }
+    if workload.traces.len() as u64 > MAX_CORES {
+        return Err(TraceError::Corrupt { what: "core count exceeds architecture limit" });
+    }
+    if workload.regions.len() as u64 > MAX_REGIONS {
+        return Err(TraceError::Corrupt { what: "region count exceeds limit" });
+    }
+    let start = out.stream_position()?;
+    let mut w = CountingWriter { inner: out, written: 0 };
+
+    w.put(&MAGIC)?;
+    w.put_varint(VERSION)?;
+    w.put_varint(0)?; // flags, reserved
+    w.put_varint(workload.name.len() as u64)?;
+    w.put(workload.name.as_bytes())?;
+    w.put_varint(workload.traces.len() as u64)?;
+    w.put_varint(workload.instr_lines)?;
+    w.put_varint(workload.instr_base.raw())?;
+
+    w.put_varint(workload.regions.len() as u64)?;
+    for region in &workload.regions {
+        w.put_varint(region.first_line.raw())?;
+        w.put_varint(region.lines)?;
+        match region.class {
+            RegionClass::Shared => w.put(&[CLASS_SHARED])?,
+            RegionClass::Instruction => w.put(&[CLASS_INSTRUCTION])?,
+            RegionClass::PrivateTo(core) => {
+                w.put(&[CLASS_PRIVATE])?;
+                w.put_varint(core.index() as u64)?;
+            }
+        }
+    }
+
+    // Placeholder offset table, backpatched once stream lengths are known.
+    let table_at = start + w.written;
+    w.put(&vec![0u8; workload.traces.len() * 8])?;
+
+    let mut offsets = Vec::with_capacity(workload.traces.len());
+    let mut ops_per_core = Vec::with_capacity(workload.traces.len());
+    let mut buf = Vec::with_capacity(256);
+    for mut trace in workload.traces {
+        offsets.push(start + w.written);
+        let mut count = 0u64;
+        while let Some(op) = trace.next_op() {
+            buf.clear();
+            encode_op(op, &mut buf);
+            w.put(&buf)?;
+            count += 1;
+        }
+        w.put(&[OP_END])?;
+        ops_per_core.push(count);
+    }
+
+    let bytes = w.written;
+    let end = start + bytes;
+    out.seek(SeekFrom::Start(table_at))?;
+    for offset in &offsets {
+        out.write_all(&offset.to_le_bytes())?;
+    }
+    out.seek(SeekFrom::Start(end))?;
+    out.flush()?;
+    Ok(LtfSummary { ops_per_core, bytes })
+}
+
+/// Encodes `workload` into an in-memory LTF byte vector.
+///
+/// # Errors
+///
+/// [`TraceError::Io`] if encoding fails (it cannot for a `Vec` sink).
+pub fn workload_to_ltf_bytes(workload: Workload) -> Result<Vec<u8>, TraceError> {
+    let mut cursor = std::io::Cursor::new(Vec::new());
+    write_workload(&mut cursor, workload)?;
+    Ok(cursor.into_inner())
+}
+
+impl Workload {
+    /// Serializes this workload to a `.ltf` file at `path`, consuming it
+    /// (the trace sources are drained).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] on file-creation or write failure.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use lacc_sim::trace::{default_instr_base, VecTrace, Workload};
+    /// let w = Workload {
+    ///     name: "empty".into(),
+    ///     traces: vec![Box::new(VecTrace::new(vec![]))],
+    ///     regions: vec![],
+    ///     instr_lines: 1,
+    ///     instr_base: default_instr_base(),
+    /// };
+    /// w.dump_ltf("empty.ltf")?;
+    /// # Ok::<(), lacc_model::TraceError>(())
+    /// ```
+    pub fn dump_ltf<P: AsRef<Path>>(self, path: P) -> Result<LtfSummary, TraceError> {
+        let file = std::fs::File::create(path)?;
+        let mut out = std::io::BufWriter::new(file);
+        write_workload(&mut out, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{default_instr_base, VecTrace};
+    use lacc_model::Addr;
+
+    fn tiny_workload() -> Workload {
+        Workload {
+            name: "tiny".into(),
+            traces: vec![
+                Box::new(VecTrace::new(vec![
+                    TraceOp::Compute(2),
+                    TraceOp::Load { addr: Addr::new(0x80) },
+                ])),
+                Box::new(VecTrace::new(vec![TraceOp::Barrier { id: 0 }])),
+            ],
+            regions: vec![],
+            instr_lines: 8,
+            instr_base: default_instr_base(),
+        }
+    }
+
+    #[test]
+    fn bytes_start_with_magic_and_version() {
+        let bytes = workload_to_ltf_bytes(tiny_workload()).unwrap();
+        assert_eq!(&bytes[..8], &MAGIC);
+        assert_eq!(bytes[8], VERSION as u8);
+    }
+
+    #[test]
+    fn summary_counts_ops_and_bytes() {
+        let bytes = workload_to_ltf_bytes(tiny_workload()).unwrap();
+        let mut cursor = std::io::Cursor::new(Vec::new());
+        let summary = write_workload(&mut cursor, tiny_workload()).unwrap();
+        assert_eq!(summary.ops_per_core, vec![2, 1]);
+        assert_eq!(summary.total_ops(), 3);
+        assert_eq!(summary.bytes, bytes.len() as u64);
+    }
+
+    #[test]
+    fn workloads_beyond_decoder_limits_are_refused() {
+        let oversized_name = Workload {
+            name: "n".repeat(super::MAX_NAME_LEN as usize + 1),
+            traces: vec![],
+            regions: vec![],
+            instr_lines: 0,
+            instr_base: default_instr_base(),
+        };
+        assert_eq!(
+            workload_to_ltf_bytes(oversized_name).unwrap_err(),
+            lacc_model::TraceError::Corrupt { what: "name length exceeds limit" },
+        );
+        // Every successful dump must decode: the exact name-length limit
+        // still round-trips.
+        let at_limit = Workload {
+            name: "n".repeat(super::MAX_NAME_LEN as usize),
+            traces: vec![],
+            regions: vec![],
+            instr_lines: 0,
+            instr_base: default_instr_base(),
+        };
+        let bytes = workload_to_ltf_bytes(at_limit).unwrap();
+        assert!(crate::ltf::read_workload_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn empty_workload_encodes() {
+        let w = Workload {
+            name: String::new(),
+            traces: vec![],
+            regions: vec![],
+            instr_lines: 0,
+            instr_base: default_instr_base(),
+        };
+        let bytes = workload_to_ltf_bytes(w).unwrap();
+        assert_eq!(&bytes[..8], &MAGIC);
+    }
+}

@@ -47,3 +47,28 @@ fn scale_changes_only_length_not_validity() {
         assert_eq!(r.monitor.violations, 0, "scale {scale}");
     }
 }
+
+#[test]
+fn ltf_replay_is_report_identical_for_every_suite_workload() {
+    // Determinism must survive the trip through the on-disk trace format:
+    // for each benchmark, simulating the generator's workload and
+    // simulating its .ltf dump (decoded through the streaming reader)
+    // must produce byte-identical reports.
+    let cores = 4;
+    let scale = 0.02;
+    let dir = std::env::temp_dir();
+    for b in Benchmark::ALL {
+        let run =
+            |w: Workload| Simulator::new(SystemConfig::small_for_tests(cores), w).unwrap().run();
+        let direct = run(b.build(cores, scale));
+
+        let path = dir.join(format!("lacc_replay_eq_{}.ltf", b.name()));
+        b.build(cores, scale).dump_ltf(&path).unwrap();
+        let replay = run(ltf::read_workload(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(direct.workload, replay.workload, "{}", b.name());
+        assert_eq!(fingerprint(&direct), fingerprint(&replay), "{}", b.name());
+        assert_eq!(replay.monitor.violations, 0, "{}", b.name());
+    }
+}

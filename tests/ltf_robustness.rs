@@ -1,0 +1,256 @@
+//! Malformed-input hardening for the LTF decoder: every corruption returns
+//! a typed `TraceError` — never a panic, never a garbage workload.
+//!
+//! Each case corrupts a real encoder output (or hand-assembles a stream
+//! with the public varint primitives) and asserts on the exact error
+//! variant, through both the in-memory and the file-backed entry points.
+
+use lacc::prelude::ltf::varint;
+use lacc::prelude::*;
+
+/// A small but non-trivial valid image: two cores, ops of every kind,
+/// region declarations of every class.
+fn valid_bytes() -> Vec<u8> {
+    let w = Workload {
+        name: "victim".into(),
+        traces: vec![
+            Box::new(VecTrace::new(vec![
+                TraceOp::Compute(3),
+                TraceOp::Store { addr: Addr::new(0x1040), value: 99 },
+                TraceOp::Load { addr: Addr::new(0x1040) },
+                TraceOp::Barrier { id: 0 },
+            ])),
+            Box::new(VecTrace::new(vec![TraceOp::Acquire { id: 7 }, TraceOp::Release { id: 7 }])),
+        ],
+        regions: vec![
+            RegionDecl { first_line: LineAddr::new(0x41), lines: 8, class: RegionClass::Shared },
+            RegionDecl {
+                first_line: LineAddr::new(0x80),
+                lines: 4,
+                class: RegionClass::PrivateTo(CoreId::new(1)),
+            },
+        ],
+        instr_lines: 16,
+        instr_base: default_instr_base(),
+    };
+    ltf::workload_to_ltf_bytes(w).unwrap()
+}
+
+/// Decodes through the file-backed streaming path, cleaning up after
+/// itself; used to prove path and bytes APIs fail identically.
+fn open_as_file(bytes: &[u8], tag: &str) -> Result<Workload, TraceError> {
+    let path = std::env::temp_dir().join(format!("lacc_ltf_robustness_{tag}.ltf"));
+    std::fs::write(&path, bytes).unwrap();
+    let result = ltf::read_workload(&path);
+    std::fs::remove_file(&path).ok();
+    result
+}
+
+fn v(value: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    varint::encode(value, &mut out);
+    out
+}
+
+#[test]
+fn valid_image_decodes_everywhere() {
+    let bytes = valid_bytes();
+    let (header, ops) = ltf::read_workload_bytes(&bytes).unwrap();
+    assert_eq!(header.name, "victim");
+    assert_eq!(ops[0].len(), 4);
+    assert_eq!(ops[1].len(), 2);
+    let w = open_as_file(&bytes, "valid").unwrap();
+    assert_eq!(w.active_cores(), 2);
+}
+
+#[test]
+fn truncated_header_is_typed() {
+    let bytes = valid_bytes();
+    // Inside the magic.
+    let e = ltf::read_workload_bytes(&bytes[..5]).unwrap_err();
+    assert_eq!(e, TraceError::Truncated { what: "magic" });
+    assert_eq!(open_as_file(&bytes[..5], "magic").unwrap_err(), e);
+    // Just past the magic: the version varint is missing.
+    let e = ltf::read_workload_bytes(&bytes[..8]).unwrap_err();
+    assert_eq!(e, TraceError::Truncated { what: "version" });
+    // Inside the name bytes (magic + version + flags + name length = 10).
+    let e = ltf::read_workload_bytes(&bytes[..12]).unwrap_err();
+    assert_eq!(e, TraceError::Truncated { what: "name" });
+    // Inside the core offset table.
+    let (_, offsets) = ltf::read_header_bytes(&bytes).unwrap();
+    let table_end = offsets[0] as usize;
+    let e = ltf::read_workload_bytes(&bytes[..table_end - 3]).unwrap_err();
+    assert_eq!(e, TraceError::Truncated { what: "core offset table" });
+}
+
+#[test]
+fn bad_magic_is_typed() {
+    let mut bytes = valid_bytes();
+    bytes[0] ^= 0xff;
+    let e = ltf::read_workload_bytes(&bytes).unwrap_err();
+    assert!(matches!(&e, TraceError::BadMagic { found } if found.len() == 8));
+    assert_eq!(open_as_file(&bytes, "magic2").unwrap_err(), e);
+    // A different trace-looking file is rejected the same way.
+    let e = ltf::read_workload_bytes(b"GRAPHITE0123").unwrap_err();
+    assert!(matches!(e, TraceError::BadMagic { .. }));
+}
+
+#[test]
+fn unsupported_version_is_typed() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&ltf::MAGIC);
+    bytes.extend_from_slice(&v(ltf::VERSION + 1));
+    let e = ltf::read_workload_bytes(&bytes).unwrap_err();
+    assert_eq!(e, TraceError::UnsupportedVersion { found: ltf::VERSION + 1 });
+    assert_eq!(open_as_file(&bytes, "version").unwrap_err(), e);
+}
+
+#[test]
+fn reserved_flags_are_rejected() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&ltf::MAGIC);
+    bytes.extend_from_slice(&v(ltf::VERSION));
+    bytes.extend_from_slice(&v(1)); // flags must be zero
+    assert!(matches!(ltf::read_workload_bytes(&bytes).unwrap_err(), TraceError::Corrupt { .. }));
+}
+
+#[test]
+fn mid_op_eof_is_typed() {
+    // One core, so shrinking the file cannot invalidate later offsets
+    // before the decoder even reaches the streams.
+    let w = Workload {
+        name: "cut".into(),
+        traces: vec![Box::new(VecTrace::new(vec![
+            TraceOp::Store { addr: Addr::new(0x40), value: u64::MAX },
+            TraceOp::Compute(1),
+        ]))],
+        regions: vec![],
+        instr_lines: 0,
+        instr_base: default_instr_base(),
+    };
+    let bytes = ltf::workload_to_ltf_bytes(w).unwrap();
+
+    // Dropping the final end-of-stream marker truncates the stream.
+    let e = ltf::read_workload_bytes(&bytes[..bytes.len() - 1]).unwrap_err();
+    assert_eq!(e, TraceError::Truncated { what: "opcode" });
+    assert_eq!(open_as_file(&bytes[..bytes.len() - 1], "endmarker").unwrap_err(), e);
+
+    // Cutting right after the first opcode byte leaves its operand dangling.
+    let (_, offsets) = ltf::read_header_bytes(&bytes).unwrap();
+    let first_op = offsets[0] as usize;
+    let e = ltf::read_workload_bytes(&bytes[..first_op + 1]).unwrap_err();
+    assert_eq!(e, TraceError::Truncated { what: "store address" });
+    assert_eq!(open_as_file(&bytes[..first_op + 1], "midop").unwrap_err(), e);
+}
+
+#[test]
+fn overlong_varint_is_typed() {
+    // A version field of ten 0xff bytes claims more than 64 bits.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&ltf::MAGIC);
+    bytes.extend_from_slice(&[0xff; 10]);
+    let e = ltf::read_workload_bytes(&bytes).unwrap_err();
+    assert_eq!(e, TraceError::OverlongVarint { what: "version" });
+    assert_eq!(open_as_file(&bytes, "overlong").unwrap_err(), e);
+
+    // Same failure inside an op operand: store value of 11 continuations.
+    let w = Workload {
+        name: String::new(),
+        traces: vec![Box::new(VecTrace::new(vec![TraceOp::Compute(1)]))],
+        regions: vec![],
+        instr_lines: 0,
+        instr_base: default_instr_base(),
+    };
+    let valid = ltf::workload_to_ltf_bytes(w).unwrap();
+    let (_, offsets) = ltf::read_header_bytes(&valid).unwrap();
+    let mut bytes = valid[..offsets[0] as usize].to_vec();
+    bytes.push(ltf::OP_COMPUTE);
+    bytes.extend_from_slice(&[0x80; 11]);
+    bytes.push(ltf::OP_END);
+    let e = ltf::read_workload_bytes(&bytes).unwrap_err();
+    assert_eq!(e, TraceError::OverlongVarint { what: "compute count" });
+}
+
+#[test]
+fn unknown_opcode_is_typed() {
+    let bytes = valid_bytes();
+    let (_, offsets) = ltf::read_header_bytes(&bytes).unwrap();
+    let mut bytes = bytes;
+    bytes[offsets[0] as usize] = 0x7e;
+    let e = ltf::read_workload_bytes(&bytes).unwrap_err();
+    assert_eq!(e, TraceError::BadOpCode { code: 0x7e });
+    assert_eq!(open_as_file(&bytes, "opcode").unwrap_err(), e);
+}
+
+#[test]
+fn unknown_region_class_is_typed() {
+    // Hand-assembled header: no cores, one region with an undefined tag.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&ltf::MAGIC);
+    bytes.extend_from_slice(&v(ltf::VERSION));
+    bytes.extend_from_slice(&v(0)); // flags
+    bytes.extend_from_slice(&v(0)); // name length
+    bytes.extend_from_slice(&v(0)); // cores
+    bytes.extend_from_slice(&v(0)); // instr_lines
+    bytes.extend_from_slice(&v(0)); // instr_base
+    bytes.extend_from_slice(&v(1)); // one region
+    bytes.extend_from_slice(&v(0x41)); // first line
+    bytes.extend_from_slice(&v(8)); // lines
+    bytes.push(0xee); // undefined class tag
+    let e = ltf::read_workload_bytes(&bytes).unwrap_err();
+    assert_eq!(e, TraceError::BadRegionClass { tag: 0xee });
+    assert_eq!(open_as_file(&bytes, "class").unwrap_err(), e);
+}
+
+#[test]
+fn corrupt_counts_and_offsets_are_typed() {
+    // Core count beyond the 16-bit architecture limit.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&ltf::MAGIC);
+    bytes.extend_from_slice(&v(ltf::VERSION));
+    bytes.extend_from_slice(&v(0));
+    bytes.extend_from_slice(&v(0));
+    bytes.extend_from_slice(&v(ltf::MAX_CORES + 1));
+    assert!(matches!(ltf::read_workload_bytes(&bytes).unwrap_err(), TraceError::Corrupt { .. }));
+
+    // An offset pointing past end-of-file.
+    let valid = valid_bytes();
+    let (_, offsets) = ltf::read_header_bytes(&valid).unwrap();
+    let table_at = offsets[0] as usize - 16; // two 8-byte entries precede the streams
+    let mut bytes = valid.clone();
+    bytes[table_at..table_at + 8].copy_from_slice(&(valid.len() as u64 + 100).to_le_bytes());
+    let e = ltf::read_workload_bytes(&bytes).unwrap_err();
+    assert!(matches!(e, TraceError::Corrupt { .. }));
+    assert_eq!(open_as_file(&bytes, "offset").unwrap_err(), e);
+
+    // An offset pointing back into the header.
+    let mut bytes = valid.clone();
+    bytes[table_at..table_at + 8].copy_from_slice(&0u64.to_le_bytes());
+    assert!(matches!(ltf::read_workload_bytes(&bytes).unwrap_err(), TraceError::Corrupt { .. }));
+}
+
+#[test]
+fn invalid_name_utf8_is_typed() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&ltf::MAGIC);
+    bytes.extend_from_slice(&v(ltf::VERSION));
+    bytes.extend_from_slice(&v(0));
+    bytes.extend_from_slice(&v(2)); // two name bytes...
+    bytes.extend_from_slice(&[0xff, 0xfe]); // ...that are not UTF-8
+    let e = ltf::read_workload_bytes(&bytes).unwrap_err();
+    assert_eq!(e, TraceError::BadUtf8 { what: "name" });
+}
+
+#[test]
+fn every_prefix_of_a_valid_file_errors_not_panics() {
+    // The decoder is total: any truncation point yields Err, never a panic
+    // and never a silently shortened success.
+    let bytes = valid_bytes();
+    for len in 0..bytes.len() {
+        assert!(
+            ltf::read_workload_bytes(&bytes[..len]).is_err(),
+            "prefix of {len} bytes decoded successfully"
+        );
+    }
+    assert!(ltf::read_workload_bytes(&bytes).is_ok());
+}
