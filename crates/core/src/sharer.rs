@@ -5,18 +5,23 @@
 //! is maintained; exclusive requests then *broadcast* the invalidation, but
 //! acknowledgements are expected "from only the actual sharers of the
 //! data", which is exactly the count the directory kept.
+//!
+//! Sharer identities are stored as [`CoreSet`] bitmaps — fixed-width,
+//! allocation-free, O(1) membership — rather than heap vectors; unicast
+//! invalidation rounds therefore visit sharers in ascending core order.
 
-use lacc_model::CoreId;
+use lacc_model::{CoreId, CoreSet};
 
 use crate::DirectoryKind;
 
 /// How an invalidation round must be delivered, produced by
 /// [`SharerTracker::invalidation_plan`].
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum InvalidationPlan {
-    /// Send a unicast invalidation to each listed sharer and await one
-    /// response (inv-ack or racing evict-notify) per core.
-    Unicast(Vec<CoreId>),
+    /// Send a unicast invalidation to each listed sharer (ascending core
+    /// order) and await one response (inv-ack or racing evict-notify) per
+    /// core.
+    Unicast(CoreSet),
     /// Broadcast the invalidation (single network injection) and await
     /// `expected_acks` responses from the actual sharers.
     Broadcast {
@@ -30,7 +35,7 @@ impl InvalidationPlan {
     #[must_use]
     pub fn expected_acks(&self) -> usize {
         match self {
-            InvalidationPlan::Unicast(v) => v.len(),
+            InvalidationPlan::Unicast(s) => s.len(),
             InvalidationPlan::Broadcast { expected_acks } => *expected_acks,
         }
     }
@@ -38,23 +43,21 @@ impl InvalidationPlan {
 
 /// Internal ACKwise representation: exact pointers until overflow, then a
 /// bare count (identities dropped, §3.1).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum AckWiseState {
     /// Exact sharer pointers (count <= p).
-    Exact(Vec<CoreId>),
+    Exact(CoreSet),
     /// Sharer count only, after pointer overflow.
     CountOnly(usize),
 }
 
 /// Sharer-set representation for one directory entry.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SharerTracker {
     /// One presence bit per core.
     FullMap {
-        /// Presence bitmap, one `u64` per 64 cores.
-        bits: Vec<u64>,
-        /// Cached population count.
-        count: usize,
+        /// Presence bitmap with cached population count.
+        set: CoreSet,
     },
     /// ACKwise_p limited pointers.
     AckWise {
@@ -66,15 +69,13 @@ pub enum SharerTracker {
 }
 
 impl SharerTracker {
-    /// Creates an empty tracker of the configured kind for `num_cores`.
+    /// Creates an empty tracker of the configured kind.
     #[must_use]
-    pub fn new(kind: DirectoryKind, num_cores: usize) -> Self {
+    pub fn new(kind: DirectoryKind, _num_cores: usize) -> Self {
         match kind {
-            DirectoryKind::FullMap => {
-                SharerTracker::FullMap { bits: vec![0; num_cores.div_ceil(64)], count: 0 }
-            }
+            DirectoryKind::FullMap => SharerTracker::FullMap { set: CoreSet::new() },
             DirectoryKind::AckWise { pointers } => {
-                SharerTracker::AckWise { pointers, state: AckWiseState::Exact(Vec::new()) }
+                SharerTracker::AckWise { pointers, state: AckWiseState::Exact(CoreSet::new()) }
             }
         }
     }
@@ -84,9 +85,9 @@ impl SharerTracker {
     #[must_use]
     pub fn count(&self) -> usize {
         match self {
-            SharerTracker::FullMap { count, .. } => *count,
+            SharerTracker::FullMap { set } => set.len(),
             SharerTracker::AckWise { state, .. } => match state {
-                AckWiseState::Exact(v) => v.len(),
+                AckWiseState::Exact(s) => s.len(),
                 AckWiseState::CountOnly(n) => *n,
             },
         }
@@ -103,11 +104,9 @@ impl SharerTracker {
     #[must_use]
     pub fn contains(&self, core: CoreId) -> Option<bool> {
         match self {
-            SharerTracker::FullMap { bits, .. } => {
-                Some(bits[core.index() / 64] >> (core.index() % 64) & 1 == 1)
-            }
+            SharerTracker::FullMap { set } => Some(set.contains(core)),
             SharerTracker::AckWise { state, .. } => match state {
-                AckWiseState::Exact(v) => Some(v.contains(&core)),
+                AckWiseState::Exact(s) => Some(s.contains(core)),
                 AckWiseState::CountOnly(_) => None,
             },
         }
@@ -121,22 +120,17 @@ impl SharerTracker {
     /// a core with a valid copy never re-requests the line).
     pub fn add(&mut self, core: CoreId) {
         match self {
-            SharerTracker::FullMap { bits, count } => {
-                let w = core.index() / 64;
-                let m = 1u64 << (core.index() % 64);
-                if bits[w] & m == 0 {
-                    bits[w] |= m;
-                    *count += 1;
-                }
+            SharerTracker::FullMap { set } => {
+                set.insert(core);
             }
             SharerTracker::AckWise { pointers, state } => match state {
-                AckWiseState::Exact(v) => {
-                    if !v.contains(&core) {
-                        if v.len() == *pointers {
+                AckWiseState::Exact(s) => {
+                    if !s.contains(core) {
+                        if s.len() == *pointers {
                             // Overflow: drop identities, keep the count.
-                            *state = AckWiseState::CountOnly(v.len() + 1);
+                            *state = AckWiseState::CountOnly(s.len() + 1);
                         } else {
-                            v.push(core);
+                            s.insert(core);
                         }
                     }
                 }
@@ -153,31 +147,14 @@ impl SharerTracker {
     /// exact (empty) mode.
     pub fn remove(&mut self, core: CoreId) -> bool {
         match self {
-            SharerTracker::FullMap { bits, count } => {
-                let w = core.index() / 64;
-                let m = 1u64 << (core.index() % 64);
-                if bits[w] & m != 0 {
-                    bits[w] &= !m;
-                    *count -= 1;
-                    true
-                } else {
-                    false
-                }
-            }
+            SharerTracker::FullMap { set } => set.remove(core),
             SharerTracker::AckWise { state, .. } => match state {
-                AckWiseState::Exact(v) => {
-                    if let Some(i) = v.iter().position(|&c| c == core) {
-                        v.remove(i);
-                        true
-                    } else {
-                        false
-                    }
-                }
+                AckWiseState::Exact(s) => s.remove(core),
                 AckWiseState::CountOnly(n) => {
                     debug_assert!(*n > 0, "removing sharer from empty overflow set");
                     *n = n.saturating_sub(1);
                     if *n == 0 {
-                        *state = AckWiseState::Exact(Vec::new());
+                        *state = AckWiseState::Exact(CoreSet::new());
                     }
                     true
                 }
@@ -188,32 +165,18 @@ impl SharerTracker {
     /// Clears all sharers (after an invalidation round completes).
     pub fn clear(&mut self) {
         match self {
-            SharerTracker::FullMap { bits, count } => {
-                bits.iter_mut().for_each(|b| *b = 0);
-                *count = 0;
-            }
-            SharerTracker::AckWise { state, .. } => *state = AckWiseState::Exact(Vec::new()),
+            SharerTracker::FullMap { set } => set.clear(),
+            SharerTracker::AckWise { state, .. } => *state = AckWiseState::Exact(CoreSet::new()),
         }
     }
 
     /// Sharer identities, when known exactly.
     #[must_use]
-    pub fn known_sharers(&self) -> Option<Vec<CoreId>> {
+    pub fn known_sharers(&self) -> Option<CoreSet> {
         match self {
-            SharerTracker::FullMap { bits, .. } => {
-                let mut v = Vec::new();
-                for (w, &word) in bits.iter().enumerate() {
-                    let mut word = word;
-                    while word != 0 {
-                        let b = word.trailing_zeros() as usize;
-                        v.push(CoreId::new(w * 64 + b));
-                        word &= word - 1;
-                    }
-                }
-                Some(v)
-            }
+            SharerTracker::FullMap { set } => Some(*set),
             SharerTracker::AckWise { state, .. } => match state {
-                AckWiseState::Exact(v) => Some(v.clone()),
+                AckWiseState::Exact(s) => Some(*s),
                 AckWiseState::CountOnly(_) => None,
             },
         }
@@ -224,14 +187,14 @@ impl SharerTracker {
     #[must_use]
     pub fn invalidation_plan(&self, skip: Option<CoreId>) -> Option<InvalidationPlan> {
         match self.known_sharers() {
-            Some(mut v) => {
+            Some(mut set) => {
                 if let Some(s) = skip {
-                    v.retain(|&c| c != s);
+                    set.remove(s);
                 }
-                if v.is_empty() {
+                if set.is_empty() {
                     None
                 } else {
-                    Some(InvalidationPlan::Unicast(v))
+                    Some(InvalidationPlan::Unicast(set))
                 }
             }
             None => {
@@ -256,6 +219,10 @@ mod tests {
         CoreId::new(n)
     }
 
+    fn set(cores: &[usize]) -> CoreSet {
+        cores.iter().map(|&n| c(n)).collect()
+    }
+
     #[test]
     fn full_map_add_remove() {
         let mut t = SharerTracker::new(DirectoryKind::FullMap, 128);
@@ -268,7 +235,7 @@ mod tests {
         assert!(t.remove(c(127)));
         assert!(!t.remove(c(127)));
         assert_eq!(t.count(), 1);
-        assert_eq!(t.known_sharers(), Some(vec![c(0)]));
+        assert_eq!(t.known_sharers(), Some(set(&[0])));
     }
 
     #[test]
@@ -276,7 +243,7 @@ mod tests {
         let mut t = SharerTracker::new(DirectoryKind::AckWise { pointers: 2 }, 64);
         t.add(c(1));
         t.add(c(2));
-        assert_eq!(t.known_sharers(), Some(vec![c(1), c(2)]));
+        assert_eq!(t.known_sharers(), Some(set(&[1, 2])));
         t.add(c(3)); // overflow: identities dropped
         assert_eq!(t.count(), 3);
         assert_eq!(t.known_sharers(), None);
@@ -294,7 +261,7 @@ mod tests {
         assert!(t.is_empty());
         // Back to exact mode.
         t.add(c(5));
-        assert_eq!(t.known_sharers(), Some(vec![c(5)]));
+        assert_eq!(t.known_sharers(), Some(set(&[5])));
     }
 
     #[test]
@@ -303,9 +270,9 @@ mod tests {
         assert_eq!(t.invalidation_plan(None), None);
         t.add(c(1));
         t.add(c(2));
-        assert_eq!(t.invalidation_plan(None), Some(InvalidationPlan::Unicast(vec![c(1), c(2)])));
+        assert_eq!(t.invalidation_plan(None), Some(InvalidationPlan::Unicast(set(&[1, 2]))));
         // Skip the requester during an upgrade.
-        assert_eq!(t.invalidation_plan(Some(c(1))), Some(InvalidationPlan::Unicast(vec![c(2)])));
+        assert_eq!(t.invalidation_plan(Some(c(1))), Some(InvalidationPlan::Unicast(set(&[2]))));
         assert_eq!(t.invalidation_plan(Some(c(9))).unwrap().expected_acks(), 2);
         for i in 3..=5 {
             t.add(c(i));
@@ -324,7 +291,7 @@ mod tests {
             t.add(c(2));
             t.clear();
             assert!(t.is_empty());
-            assert_eq!(t.known_sharers(), Some(vec![]));
+            assert_eq!(t.known_sharers(), Some(CoreSet::new()));
         }
     }
 }
@@ -375,7 +342,7 @@ mod proptests {
                 }
             }
             let known: Vec<usize> =
-                t.known_sharers().unwrap().into_iter().map(|c| c.index()).collect();
+                t.known_sharers().unwrap().iter().map(|c| c.index()).collect();
             let expect: Vec<usize> = model.into_iter().collect();
             prop_assert_eq!(known, expect);
         }

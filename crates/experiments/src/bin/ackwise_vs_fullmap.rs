@@ -14,7 +14,7 @@ fn main() {
         jobs.push(("ackwise4".to_string(), b, ackwise.clone()));
         jobs.push(("fullmap".to_string(), b, fullmap.clone()));
     }
-    let results = run_jobs(jobs, cli.scale, cli.quiet);
+    let results = run_jobs(jobs, cli.scale, cli.quiet, cli.sim_options());
 
     let mut csv = open_results_file("ackwise_vs_fullmap.csv");
     csv_row(

@@ -38,7 +38,7 @@ fn main() {
             cli.benchmarks().into_iter().map(move |b| (label.to_string(), b, cfg.clone()))
         })
         .collect();
-    let results = run_jobs(jobs, cli.scale, cli.quiet);
+    let results = run_jobs(jobs, cli.scale, cli.quiet, cli.sim_options());
 
     let mut csv = open_results_file("ext_complete_shortcut.csv");
     csv_row(

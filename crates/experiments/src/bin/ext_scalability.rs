@@ -36,7 +36,7 @@ fn main() {
             jobs.push((format!("c{cores}-pct4"), b, base.clone().with_pct(4)));
         }
     }
-    let results = run_jobs(jobs, cli.scale, cli.quiet);
+    let results = run_jobs(jobs, cli.scale, cli.quiet, cli.sim_options());
 
     let mut csv = open_results_file("ext_scalability.csv");
     csv_row(

@@ -12,7 +12,7 @@ fn main() {
     let cli = Cli::parse();
     let cfg = cli.base_config().with_pct(1);
     let jobs = cli.benchmarks().into_iter().map(|b| ("pct1".to_string(), b, cfg.clone())).collect();
-    let results = run_jobs(jobs, cli.scale, cli.quiet);
+    let results = run_jobs(jobs, cli.scale, cli.quiet, cli.sim_options());
 
     let mut csv = open_results_file("fig01_02_utilization.csv");
     csv_row(

@@ -17,7 +17,7 @@ fn main() {
             cli.benchmarks().into_iter().map(move |b| (format!("pct{pct}"), b, cfg.clone()))
         })
         .collect();
-    let results = run_jobs(jobs, cli.scale, cli.quiet);
+    let results = run_jobs(jobs, cli.scale, cli.quiet, cli.sim_options());
 
     let mut csv = open_results_file("fig09_completion.csv");
     csv_row(

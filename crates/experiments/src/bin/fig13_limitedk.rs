@@ -20,7 +20,7 @@ fn main() {
             cli.benchmarks().into_iter().map(move |b| (label.clone(), b, cfg.clone()))
         })
         .collect();
-    let results = run_jobs(jobs, cli.scale, cli.quiet);
+    let results = run_jobs(jobs, cli.scale, cli.quiet, cli.sim_options());
 
     let mut csv = open_results_file("fig13_limitedk.csv");
     csv_row(

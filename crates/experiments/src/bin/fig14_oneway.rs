@@ -20,7 +20,7 @@ fn main() {
         jobs.push(("2way".to_string(), b, two_way.clone()));
         jobs.push(("1way".to_string(), b, one_way.clone()));
     }
-    let results = run_jobs(jobs, cli.scale, cli.quiet);
+    let results = run_jobs(jobs, cli.scale, cli.quiet, cli.sim_options());
 
     let mut csv = open_results_file("fig14_oneway.csv");
     csv_row(

@@ -11,7 +11,9 @@
 //! * `--scale <f64>` — workload scale factor (default 1.0);
 //! * `--cores <n>` — machine size (default 64, Table 1);
 //! * `--bench <name>` — restrict to one benchmark (repeatable);
-//! * `--quiet` — suppress per-run progress lines.
+//! * `--quiet` — suppress per-run progress lines;
+//! * `--no-monitor` — disable the shadow-memory coherence monitor
+//!   (large calibration sweeps; drops its per-access checking cost).
 
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -19,7 +21,7 @@ use std::sync::Mutex;
 
 use lacc_model::config::{ClassifierConfig, MechanismKind, TrackingKind};
 use lacc_model::SystemConfig;
-use lacc_sim::{SimReport, Simulator};
+use lacc_sim::{SimOptions, SimReport, Simulator};
 use lacc_workloads::Benchmark;
 
 /// Parsed command-line options shared by all experiment binaries.
@@ -33,6 +35,8 @@ pub struct Cli {
     pub benches: Vec<Benchmark>,
     /// Suppress progress output.
     pub quiet: bool,
+    /// Disable the coherence monitor (calibration sweeps).
+    pub no_monitor: bool,
 }
 
 impl Cli {
@@ -44,7 +48,8 @@ impl Cli {
     /// benchmark names.
     #[must_use]
     pub fn parse() -> Self {
-        let mut cli = Cli { scale: 1.0, cores: 64, benches: Vec::new(), quiet: false };
+        let mut cli =
+            Cli { scale: 1.0, cores: 64, benches: Vec::new(), quiet: false, no_monitor: false };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -64,7 +69,10 @@ impl Cli {
                     cli.benches.push(b);
                 }
                 "--quiet" => cli.quiet = true,
-                other => panic!("unknown flag '{other}' (try --scale/--cores/--bench/--quiet)"),
+                "--no-monitor" => cli.no_monitor = true,
+                other => panic!(
+                    "unknown flag '{other}' (try --scale/--cores/--bench/--quiet/--no-monitor)"
+                ),
             }
             i += 1;
         }
@@ -85,6 +93,12 @@ impl Cli {
     #[must_use]
     pub fn base_config(&self) -> SystemConfig {
         config_for_cores(self.cores)
+    }
+
+    /// The run-time simulator options these flags select.
+    #[must_use]
+    pub fn sim_options(&self) -> SimOptions {
+        SimOptions { monitor: !self.no_monitor, ..SimOptions::default() }
     }
 }
 
@@ -110,15 +124,34 @@ pub fn config_for_cores(cores: usize) -> SystemConfig {
     }
 }
 
-/// Runs one benchmark under one configuration.
+/// Runs one benchmark under one configuration with default
+/// [`SimOptions`].
 ///
 /// # Panics
 ///
 /// Panics if the configuration is invalid or the run violates coherence.
 #[must_use]
 pub fn run_one(bench: Benchmark, cfg: &SystemConfig, scale: f64) -> SimReport {
+    run_one_opts(bench, cfg, scale, SimOptions::default())
+}
+
+/// Runs one benchmark under one configuration with explicit run-time
+/// [`SimOptions`] (e.g. monitor disabled for calibration sweeps).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the run violates coherence
+/// (vacuous when the monitor is disabled).
+#[must_use]
+pub fn run_one_opts(
+    bench: Benchmark,
+    cfg: &SystemConfig,
+    scale: f64,
+    opts: SimOptions,
+) -> SimReport {
     let w = bench.build(cfg.num_cores, scale);
-    let sim = Simulator::new(cfg.clone(), w).expect("valid experiment configuration");
+    let sim =
+        Simulator::with_options(cfg.clone(), w, opts).expect("valid experiment configuration");
     let report = sim.run();
     assert_eq!(report.monitor.violations, 0, "{}: coherence violated", bench.name());
     report
@@ -130,6 +163,7 @@ pub fn run_jobs(
     jobs: Vec<(String, Benchmark, SystemConfig)>,
     scale: f64,
     quiet: bool,
+    opts: SimOptions,
 ) -> HashMap<(String, &'static str), SimReport> {
     let results = Mutex::new(HashMap::new());
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -143,7 +177,7 @@ pub fn run_jobs(
                     break;
                 }
                 let (label, bench, cfg) = &jobs[i];
-                let report = run_one(*bench, cfg, scale);
+                let report = run_one_opts(*bench, cfg, scale, opts);
                 if !quiet {
                     eprintln!("  [{label:>12}] {}", report.summary());
                 }
@@ -353,8 +387,18 @@ mod tests {
             ("a".to_string(), Benchmark::WaterSp, cfg.clone()),
             ("b".to_string(), Benchmark::WaterSp, cfg.with_pct(1)),
         ];
-        let out = run_jobs(jobs, 0.02, true);
+        let out = run_jobs(jobs, 0.02, true, SimOptions::default());
         assert_eq!(out.len(), 2);
         assert!(out.contains_key(&("a".to_string(), "water-sp")));
+    }
+
+    #[test]
+    fn no_monitor_runs_check_nothing() {
+        let cli = Cli { scale: 0.02, cores: 4, benches: Vec::new(), quiet: true, no_monitor: true };
+        assert!(!cli.sim_options().monitor);
+        let cfg = SystemConfig::small_for_tests(4);
+        let r = run_one_opts(Benchmark::WaterSp, &cfg, 0.02, cli.sim_options());
+        assert_eq!(r.monitor.reads_checked, 0, "monitor must be off");
+        assert!(r.completion_time > 0);
     }
 }

@@ -47,7 +47,7 @@ pub mod prelude {
     pub use lacc_sim::ltf::{self, LtfHeader, LtfSummary, LtfTrace};
     pub use lacc_sim::trace::default_instr_base;
     pub use lacc_sim::{
-        RegionDecl, SimReport, Simulator, TraceOp, TraceSource, VecTrace, Workload,
+        RegionDecl, SimOptions, SimReport, Simulator, TraceOp, TraceSource, VecTrace, Workload,
     };
     pub use lacc_workloads::{Benchmark, Phases, Region};
 }

@@ -345,6 +345,13 @@ impl SystemConfig {
         if self.num_cores == 0 {
             return Err(ConfigError::new("num_cores must be at least 1"));
         }
+        if self.num_cores > crate::coreset::MAX_CORES {
+            return Err(ConfigError::new(format!(
+                "num_cores must be at most {} (the paper's largest machine; fixed-width \
+                 CoreSet bound)",
+                crate::coreset::MAX_CORES
+            )));
+        }
         if self.num_mem_ctrls == 0 || self.num_mem_ctrls > self.num_cores {
             return Err(ConfigError::new("num_mem_ctrls must be in 1..=num_cores"));
         }

@@ -1,0 +1,269 @@
+//! A fixed-width bitset of [`CoreId`]s.
+//!
+//! Directory-side sharer lists and ack-collection sets were heap
+//! `Vec<CoreId>`s: every invalidation round allocated, and membership
+//! tests were linear scans. [`CoreSet`] packs the same information into
+//! `MAX_CORES / 64` inline words — no allocation, O(1) insert/remove/
+//! contains, popcount-backed length, and ascending-order iteration that
+//! compiles to `trailing_zeros` loops. The paper's largest evaluated
+//! machine is 1024 cores (Table 4), which bounds the width;
+//! [`SystemConfig::validate`](crate::SystemConfig::validate) rejects
+//! larger machines.
+//!
+//! # Examples
+//!
+//! ```
+//! use lacc_model::{CoreId, CoreSet};
+//!
+//! let mut s: CoreSet = [3, 1, 60].into_iter().map(CoreId::new).collect();
+//! assert_eq!(s.len(), 3);
+//! assert!(s.contains(CoreId::new(60)));
+//! s.remove(CoreId::new(1));
+//! let members: Vec<usize> = s.iter().map(|c| c.index()).collect();
+//! assert_eq!(members, vec![3, 60]); // ascending order
+//! ```
+
+use std::fmt;
+
+use crate::CoreId;
+
+/// Largest machine size any fixed-width per-core structure must handle
+/// (the paper's biggest evaluated configuration).
+pub const MAX_CORES: usize = 1024;
+
+const WORDS: usize = MAX_CORES / 64;
+
+/// A set of cores over `0..MAX_CORES`, stored as an inline bitmap with a
+/// cached population count.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct CoreSet {
+    words: [u64; WORDS],
+    count: u16,
+}
+
+impl Default for CoreSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CoreSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub const fn new() -> Self {
+        CoreSet { words: [0; WORDS], count: 0 }
+    }
+
+    /// Number of member cores.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::from(self.count)
+    }
+
+    /// `true` when no core is a member.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether `core` is a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core.index() >= MAX_CORES`.
+    #[must_use]
+    pub fn contains(&self, core: CoreId) -> bool {
+        let i = core.index();
+        assert!(i < MAX_CORES, "core index {i} exceeds MAX_CORES");
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Adds `core`; returns `true` if it was not already a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core.index() >= MAX_CORES`.
+    pub fn insert(&mut self, core: CoreId) -> bool {
+        let i = core.index();
+        assert!(i < MAX_CORES, "core index {i} exceeds MAX_CORES");
+        let mask = 1u64 << (i % 64);
+        let fresh = self.words[i / 64] & mask == 0;
+        if fresh {
+            self.words[i / 64] |= mask;
+            self.count += 1;
+        }
+        fresh
+    }
+
+    /// Removes `core`; returns `true` if it was a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core.index() >= MAX_CORES`.
+    pub fn remove(&mut self, core: CoreId) -> bool {
+        let i = core.index();
+        assert!(i < MAX_CORES, "core index {i} exceeds MAX_CORES");
+        let mask = 1u64 << (i % 64);
+        let present = self.words[i / 64] & mask != 0;
+        if present {
+            self.words[i / 64] &= !mask;
+            self.count -= 1;
+        }
+        present
+    }
+
+    /// Removes all members.
+    pub fn clear(&mut self) {
+        self.words = [0; WORDS];
+        self.count = 0;
+    }
+
+    /// Iterates the members in ascending core order.
+    #[must_use]
+    pub fn iter(&self) -> CoreSetIter {
+        CoreSetIter { words: self.words, word: 0, remaining: self.count }
+    }
+}
+
+impl fmt::Debug for CoreSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter().map(|c| c.index())).finish()
+    }
+}
+
+impl FromIterator<CoreId> for CoreSet {
+    fn from_iter<I: IntoIterator<Item = CoreId>>(iter: I) -> Self {
+        let mut s = CoreSet::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl Extend<CoreId> for CoreSet {
+    fn extend<I: IntoIterator<Item = CoreId>>(&mut self, iter: I) {
+        for c in iter {
+            self.insert(c);
+        }
+    }
+}
+
+impl IntoIterator for &CoreSet {
+    type Item = CoreId;
+    type IntoIter = CoreSetIter;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Ascending-order iterator over a [`CoreSet`] (by value — the set is a
+/// small inline array).
+#[derive(Clone, Debug)]
+pub struct CoreSetIter {
+    words: [u64; WORDS],
+    word: usize,
+    remaining: u16,
+}
+
+impl Iterator for CoreSetIter {
+    type Item = CoreId;
+
+    fn next(&mut self) -> Option<CoreId> {
+        while self.word < WORDS {
+            let w = self.words[self.word];
+            if w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                self.words[self.word] = w & (w - 1);
+                self.remaining -= 1;
+                return Some(CoreId::new(self.word * 64 + bit));
+            }
+            self.word += 1;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (usize::from(self.remaining), Some(usize::from(self.remaining)))
+    }
+}
+
+impl ExactSizeIterator for CoreSetIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: usize) -> CoreId {
+        CoreId::new(n)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = CoreSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(c(0)));
+        assert!(s.insert(c(63)));
+        assert!(s.insert(c(64)));
+        assert!(s.insert(c(MAX_CORES - 1)));
+        assert!(!s.insert(c(63)), "re-insert is a no-op");
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(c(64)));
+        assert!(!s.contains(c(65)));
+        assert!(s.remove(c(64)));
+        assert!(!s.remove(c(64)));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_exact() {
+        let s: CoreSet = [900, 2, 65, 2, 130].into_iter().map(c).collect();
+        let v: Vec<usize> = s.iter().map(|x| x.index()).collect();
+        assert_eq!(v, vec![2, 65, 130, 900]);
+        assert_eq!(s.iter().len(), 4);
+    }
+
+    #[test]
+    fn clear_and_debug() {
+        let mut s: CoreSet = [1, 2].into_iter().map(c).collect();
+        assert_eq!(format!("{s:?}"), "{1, 2}");
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().next(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_CORES")]
+    fn out_of_width_panics() {
+        let mut s = CoreSet::new();
+        s.insert(c(MAX_CORES));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// CoreSet behaves exactly like a reference BTreeSet under any
+        /// interleaving of inserts and removes, including iteration order.
+        #[test]
+        fn matches_btreeset_model(
+            ops in proptest::collection::vec((0usize..MAX_CORES, proptest::bool::ANY), 1..200)
+        ) {
+            let mut s = CoreSet::new();
+            let mut model = std::collections::BTreeSet::new();
+            for (i, add) in ops {
+                if add {
+                    prop_assert_eq!(s.insert(CoreId::new(i)), model.insert(i));
+                } else {
+                    prop_assert_eq!(s.remove(CoreId::new(i)), model.remove(&i));
+                }
+                prop_assert_eq!(s.len(), model.len());
+            }
+            let got: Vec<usize> = s.iter().map(|x| x.index()).collect();
+            let want: Vec<usize> = model.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

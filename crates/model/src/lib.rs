@@ -22,16 +22,20 @@
 //! ```
 
 pub mod addr;
+pub mod collections;
 pub mod config;
+pub mod coreset;
 pub mod error;
 pub mod ids;
 pub mod stats;
 pub mod time;
 
 pub use addr::{Addr, LineAddr, PageAddr};
+pub use collections::{FxBuildHasher, FxHashMap, FxHashSet, LineMap, LineSet};
 pub use config::{
     CacheConfig, ClassifierConfig, DirectoryKind, MechanismKind, SystemConfig, TrackingKind,
 };
+pub use coreset::{CoreSet, MAX_CORES};
 pub use error::{ConfigError, Error, TraceError};
 pub use ids::{CoreId, MemCtrlId};
 pub use stats::{

@@ -1,0 +1,484 @@
+//! Home-side engine: directory transactions, L2 installs and evictions,
+//! ack collection, grants, and waiter draining.
+//!
+//! Each line has at most one in-flight transaction per home slice
+//! (`TileState::txns`); requests that find the line busy queue FIFO in
+//! `TileState::waiters` and their queueing time is charged as *L2 cache
+//! waiting time*. The decision kernel itself
+//! ([`DirectoryEntry::begin_request`]) is pure and lives in `lacc_core`;
+//! this module executes its decisions with real timing.
+
+use lacc_cache::LineData;
+use lacc_core::classifier::{RemovalReason, SharerMode};
+use lacc_core::home::{AccessKind, DirectoryEntry, Grant, HomeRequest};
+use lacc_core::mesi::MesiState;
+use lacc_core::sharer::InvalidationPlan;
+use lacc_model::{CoreId, Cycle, LatencyAnnotation, LineAddr};
+
+use crate::msg::{Message, Payload};
+
+use super::state::{Awaiting, EvictTxn, HomeTxn, L2Line, Phase, RequestTxn};
+use super::{Event, Simulator, INSTALL_RETRY_CYCLES};
+
+impl Simulator {
+    pub(crate) fn home_request_arrival(&mut self, msg: Message, now: Cycle) {
+        let tile = msg.dst.index();
+        let line = msg.line;
+        let busy =
+            self.tiles[tile].txns.contains_key(&line) || self.tiles[tile].waiters.line_busy(line);
+        if busy {
+            self.tiles[tile].waiters.push(line, (msg, now));
+        } else {
+            self.start_home_txn(tile, msg, now, now);
+        }
+    }
+
+    fn start_home_txn(&mut self, tile: usize, msg: Message, arrival: Cycle, now: Cycle) {
+        let (kind, hints, word, value, instr) = match msg.payload {
+            Payload::ReadReq { hints, word, instr } => (AccessKind::Read, hints, word, 0, instr),
+            Payload::WriteReq { hints, word, value } => {
+                (AccessKind::Write, hints, word, value, false)
+            }
+            _ => unreachable!("only requests start transactions"),
+        };
+        self.counts.l2_tag_probes += 1;
+        self.counts.dir_reads += 1;
+        let txn = RequestTxn {
+            requester: msg.src,
+            kind,
+            hints,
+            word,
+            value,
+            instr,
+            wait: now - arrival,
+            offchip: 0,
+            sharers_lat: 0,
+            phase: Phase::Lookup,
+            phase_start: now,
+            decision: None,
+            awaiting: Awaiting::Count(0),
+        };
+        self.tiles[tile].txns.insert(msg.line, HomeTxn::Request(txn));
+        self.schedule(now + self.cfg.l2.latency, Event::HomeLookup { tile, line: msg.line });
+    }
+
+    pub(crate) fn home_lookup(&mut self, tile: usize, line: LineAddr, now: Cycle) {
+        if self.tiles[tile].l2.contains(line) {
+            self.home_decide(tile, line, now);
+        } else {
+            let home = CoreId::new(tile);
+            {
+                let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+                    unreachable!("lookup without transaction");
+                };
+                txn.phase = Phase::AwaitDram;
+                txn.phase_start = now;
+            }
+            let ctrl = self.dram.ctrl_for_line(line);
+            let ctrl_tile = self.dram.tile_of(ctrl);
+            self.send(home, ctrl_tile, line, Payload::DramFetch, now);
+        }
+    }
+
+    pub(crate) fn home_dram_data(
+        &mut self,
+        tile: usize,
+        line: LineAddr,
+        data: LineData,
+        now: Cycle,
+    ) {
+        {
+            let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+                unreachable!("DRAM data without transaction");
+            };
+            if txn.phase == Phase::AwaitDram {
+                txn.offchip += now - txn.phase_start;
+                txn.phase = Phase::Installing;
+            }
+        }
+        if !self.install_l2_line(tile, line, data, now) {
+            // Every way in the set is protocol-busy; retry shortly.
+            let home = CoreId::new(tile);
+            self.schedule(
+                now + INSTALL_RETRY_CYCLES,
+                Event::Deliver(Message {
+                    src: home,
+                    dst: home,
+                    line,
+                    payload: Payload::DramData { data },
+                    sent: now,
+                }),
+            );
+            return;
+        }
+        self.home_decide(tile, line, now);
+    }
+
+    fn install_l2_line(&mut self, tile: usize, line: LineAddr, data: LineData, now: Cycle) -> bool {
+        let entry =
+            DirectoryEntry::new(self.cfg.directory, &self.cfg.classifier, self.cfg.num_cores);
+        let fresh = L2Line { dirty: false, data, entry };
+        // A victim must not have an in-flight transaction of its own.
+        // Query the transaction/waiter maps directly per candidate (O(1)
+        // each) instead of materializing every in-flight line per install.
+        let tile_state = &mut self.tiles[tile];
+        let txns = &tile_state.txns;
+        let waiters = &tile_state.waiters;
+        let result = tile_state.l2.try_insert_filtered(line, fresh, |l, _| {
+            l != line && !txns.contains_key(&l) && !waiters.line_busy(l)
+        });
+        match result {
+            Err(_) => false,
+            Ok(victim) => {
+                self.counts.l2_line_writes += 1;
+                if let Some((vline, vmeta)) = victim {
+                    self.spawn_l2_eviction(tile, vline, vmeta, now);
+                }
+                true
+            }
+        }
+    }
+
+    fn spawn_l2_eviction(&mut self, tile: usize, vline: LineAddr, vmeta: L2Line, now: Cycle) {
+        self.protocol.l2_evictions += 1;
+        let home = CoreId::new(tile);
+        match vmeta.entry.back_invalidation_plan() {
+            None => {
+                if vmeta.dirty {
+                    let ctrl_tile = self.dram.tile_of(self.dram.ctrl_for_line(vline));
+                    self.send(
+                        home,
+                        ctrl_tile,
+                        vline,
+                        Payload::DramWriteBack { data: vmeta.data },
+                        now,
+                    );
+                }
+            }
+            Some(plan) => {
+                let awaiting = match plan {
+                    InvalidationPlan::Unicast(cores) => {
+                        for c in &cores {
+                            self.protocol.invalidations_sent += 1;
+                            self.send(home, c, vline, Payload::Inv { back: true }, now);
+                        }
+                        Awaiting::Set(cores)
+                    }
+                    InvalidationPlan::Broadcast { expected_acks } => {
+                        self.protocol.broadcasts += 1;
+                        self.protocol.invalidations_sent += 1;
+                        self.broadcast_inv(tile, vline, true, now);
+                        Awaiting::Count(expected_acks)
+                    }
+                };
+                self.tiles[tile].txns.insert(
+                    vline,
+                    HomeTxn::Evict(EvictTxn {
+                        entry: vmeta.entry,
+                        data: vmeta.data,
+                        dirty: vmeta.dirty,
+                        awaiting,
+                    }),
+                );
+            }
+        }
+    }
+
+    fn home_decide(&mut self, tile: usize, line: LineAddr, now: Cycle) {
+        let decision;
+        {
+            let (requester, kind, hints, instr) = {
+                let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get(&line) else {
+                    unreachable!("decide without transaction");
+                };
+                (txn.requester, txn.kind, txn.hints, txn.instr)
+            };
+            let l2line = self.tiles[tile].l2.get_mut(line).expect("decide on resident line");
+            let req = HomeRequest { core: requester, kind, hints, instruction: instr };
+            decision = l2line.entry.begin_request(&req, now);
+            self.counts.dir_updates += 1;
+        }
+        let fetch_from = decision.fetch_from_owner;
+        {
+            let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+                unreachable!();
+            };
+            txn.decision = Some(decision);
+            if let Some(owner) = fetch_from {
+                txn.phase = Phase::AwaitWb;
+                txn.phase_start = now;
+                self.protocol.write_backs += 1;
+                let home = CoreId::new(tile);
+                self.send(home, owner, line, Payload::WbReq, now);
+                return;
+            }
+        }
+        self.home_proceed_invalidate(tile, line, now);
+    }
+
+    fn home_proceed_invalidate(&mut self, tile: usize, line: LineAddr, now: Cycle) {
+        let plan = {
+            let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+                unreachable!();
+            };
+            match &txn.decision.as_ref().expect("decision made").invalidate {
+                Some(plan) if txn.phase != Phase::AwaitAcks => {
+                    txn.phase = Phase::AwaitAcks;
+                    txn.phase_start = now;
+                    Some(*plan)
+                }
+                _ => None,
+            }
+        };
+        match plan {
+            Some(InvalidationPlan::Unicast(cores)) => {
+                let home = CoreId::new(tile);
+                for c in &cores {
+                    self.protocol.invalidations_sent += 1;
+                    self.send(home, c, line, Payload::Inv { back: false }, now);
+                }
+                if let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) {
+                    txn.awaiting = Awaiting::Set(cores);
+                }
+            }
+            Some(InvalidationPlan::Broadcast { expected_acks }) => {
+                self.protocol.broadcasts += 1;
+                self.protocol.invalidations_sent += 1;
+                self.broadcast_inv(tile, line, false, now);
+                if let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) {
+                    txn.awaiting = Awaiting::Count(expected_acks);
+                }
+            }
+            None => self.home_grant(tile, line, now),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn home_inv_ack(
+        &mut self,
+        tile: usize,
+        from: CoreId,
+        line: LineAddr,
+        util: u32,
+        dirty: bool,
+        data: LineData,
+        back: bool,
+        now: Cycle,
+    ) {
+        match self.tiles[tile].txns.get_mut(&line) {
+            Some(HomeTxn::Request(txn)) => {
+                debug_assert_eq!(txn.phase, Phase::AwaitAcks, "unexpected inv-ack");
+                debug_assert!(!back);
+                self.inval_histogram.record(util);
+                let counted = txn.awaiting.note_response(from);
+                debug_assert!(counted, "uncounted inv-ack from {from}");
+                let done = txn.awaiting.done();
+                let l2line = self.tiles[tile].l2.peek_mut(line).expect("resident during txn");
+                let mode = l2line.entry.sharer_response(from, util, RemovalReason::Invalidation);
+                if mode == Some(SharerMode::Remote) {
+                    self.protocol.demotions += 1;
+                }
+                if dirty {
+                    l2line.data = data;
+                    l2line.dirty = true;
+                    self.counts.l2_line_writes += 1;
+                }
+                if done {
+                    let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+                        unreachable!();
+                    };
+                    txn.sharers_lat += now - txn.phase_start;
+                    self.home_grant(tile, line, now);
+                }
+            }
+            Some(HomeTxn::Evict(et)) => {
+                self.evict_histogram.record(util);
+                et.entry.sharer_response(from, util, RemovalReason::BackInvalidation);
+                if dirty {
+                    et.data = data;
+                    et.dirty = true;
+                }
+                et.awaiting.note_response(from);
+                if et.awaiting.done() {
+                    self.finish_l2_eviction(tile, line, now);
+                }
+            }
+            None => debug_assert!(false, "inv-ack for idle line {line}"),
+        }
+    }
+
+    fn finish_l2_eviction(&mut self, tile: usize, line: LineAddr, now: Cycle) {
+        let Some(HomeTxn::Evict(et)) = self.tiles[tile].txns.remove(&line) else {
+            unreachable!();
+        };
+        if et.dirty {
+            let home = CoreId::new(tile);
+            let ctrl_tile = self.dram.tile_of(self.dram.ctrl_for_line(line));
+            self.send(home, ctrl_tile, line, Payload::DramWriteBack { data: et.data }, now);
+        }
+        self.drain_waiter(tile, line, now);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn home_evict_notify(
+        &mut self,
+        tile: usize,
+        from: CoreId,
+        line: LineAddr,
+        util: u32,
+        dirty: bool,
+        data: LineData,
+        now: Cycle,
+    ) {
+        self.protocol.evictions += 1;
+        self.evict_histogram.record(util);
+        match self.tiles[tile].txns.get_mut(&line) {
+            Some(HomeTxn::Request(txn)) if txn.phase == Phase::AwaitAcks => {
+                let counted = txn.awaiting.note_response(from);
+                let done = txn.awaiting.done();
+                let l2line = self.tiles[tile].l2.peek_mut(line).expect("resident during txn");
+                let mode = l2line.entry.sharer_response(from, util, RemovalReason::Eviction);
+                if mode == Some(SharerMode::Remote) {
+                    self.protocol.demotions += 1;
+                }
+                if dirty {
+                    l2line.data = data;
+                    l2line.dirty = true;
+                    self.counts.l2_line_writes += 1;
+                }
+                if counted && done {
+                    let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+                        unreachable!();
+                    };
+                    txn.sharers_lat += now - txn.phase_start;
+                    self.home_grant(tile, line, now);
+                }
+            }
+            Some(HomeTxn::Evict(et)) => {
+                et.entry.sharer_response(from, util, RemovalReason::Eviction);
+                if dirty {
+                    et.data = data;
+                    et.dirty = true;
+                }
+                et.awaiting.note_response(from);
+                if et.awaiting.done() {
+                    self.finish_l2_eviction(tile, line, now);
+                }
+            }
+            _ => {
+                // No transaction (or one not yet collecting acks): plain
+                // bookkeeping on the resident line.
+                let Some(l2line) = self.tiles[tile].l2.peek_mut(line) else {
+                    debug_assert!(false, "evict notify for non-resident {line}");
+                    return;
+                };
+                let mode = l2line.entry.sharer_response(from, util, RemovalReason::Eviction);
+                if mode == Some(SharerMode::Remote) {
+                    self.protocol.demotions += 1;
+                }
+                if dirty {
+                    l2line.data = data;
+                    l2line.dirty = true;
+                    self.counts.l2_line_writes += 1;
+                }
+                self.counts.dir_updates += 1;
+            }
+        }
+    }
+
+    pub(crate) fn home_wb_response(
+        &mut self,
+        tile: usize,
+        owner: CoreId,
+        line: LineAddr,
+        response: Option<(bool, LineData)>,
+        now: Cycle,
+    ) {
+        {
+            let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+                unreachable!("write-back response without transaction");
+            };
+            debug_assert_eq!(txn.phase, Phase::AwaitWb);
+            txn.sharers_lat += now - txn.phase_start;
+            let l2line = self.tiles[tile].l2.peek_mut(line).expect("resident during txn");
+            match response {
+                Some((dirty, data)) => {
+                    l2line.entry.owner_downgraded(owner);
+                    if dirty {
+                        l2line.data = data;
+                        l2line.dirty = true;
+                        self.counts.l2_line_writes += 1;
+                    }
+                }
+                None => {
+                    // Owner evicted; its notify (FIFO-ordered ahead of the
+                    // nack) already removed it from the sharer set.
+                    debug_assert_ne!(l2line.entry.state.owner(), Some(owner));
+                }
+            }
+        }
+        self.home_proceed_invalidate(tile, line, now);
+    }
+
+    fn home_grant(&mut self, tile: usize, line: LineAddr, now: Cycle) {
+        let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.remove(&line) else {
+            unreachable!("grant without transaction");
+        };
+        let decision = txn.decision.expect("granting after decision");
+        let ann =
+            LatencyAnnotation { waiting: txn.wait, sharers: txn.sharers_lat, offchip: txn.offchip };
+        let home = CoreId::new(tile);
+        if decision.outcome.promoted {
+            self.protocol.promotions += 1;
+        }
+        let payload = {
+            let l2line = self.tiles[tile].l2.get_mut(line).expect("resident during txn");
+            match decision.grant {
+                Grant::LineShared | Grant::LineExclusive | Grant::LineModified => {
+                    self.counts.l2_line_reads += 1;
+                    self.protocol.line_grants += 1;
+                    l2line.entry.complete_grant(txn.requester, decision.grant);
+                    let mesi = match decision.grant {
+                        Grant::LineShared => MesiState::Shared,
+                        Grant::LineExclusive => MesiState::Exclusive,
+                        _ => MesiState::Modified,
+                    };
+                    Payload::GrantLine { mesi, data: l2line.data, ann }
+                }
+                Grant::Upgrade => {
+                    self.counts.dir_updates += 1;
+                    self.protocol.upgrades += 1;
+                    l2line.entry.complete_grant(txn.requester, decision.grant);
+                    Payload::GrantUpgrade { ann }
+                }
+                Grant::WordRead => {
+                    self.counts.l2_word_reads += 1;
+                    self.counts.dir_updates += 1;
+                    self.protocol.word_reads += 1;
+                    l2line.entry.complete_grant(txn.requester, decision.grant);
+                    let value = l2line.data.word(txn.word);
+                    self.monitor.on_read(txn.requester, line, txn.word, value);
+                    Payload::WordReadReply { value, ann }
+                }
+                Grant::WordWrite => {
+                    self.counts.l2_word_writes += 1;
+                    self.counts.dir_updates += 1;
+                    self.protocol.word_writes += 1;
+                    l2line.data.set_word(txn.word, txn.value);
+                    l2line.dirty = true;
+                    l2line.entry.complete_grant(txn.requester, decision.grant);
+                    self.monitor.on_write(txn.requester, line, txn.word, txn.value);
+                    Payload::WordWriteAck { ann }
+                }
+            }
+        };
+        self.send(home, txn.requester, line, payload, now);
+        self.drain_waiter(tile, line, now);
+    }
+
+    fn drain_waiter(&mut self, tile: usize, line: LineAddr, now: Cycle) {
+        if let Some((msg, arrival)) = self.tiles[tile].waiters.pop(line) {
+            self.start_home_txn(tile, msg, arrival, now);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! L1-side engine: remote-initiated actions on a tile's private caches —
+//! invalidations (unicast, broadcast, and back-invalidations on L2
+//! eviction) and synchronous write-back requests from the home.
+
+use lacc_core::classifier::RemovalReason;
+use lacc_model::{CoreId, Cycle, LineAddr};
+
+use crate::msg::Payload;
+
+use super::Simulator;
+
+impl Simulator {
+    pub(crate) fn l1_invalidate(
+        &mut self,
+        tile: usize,
+        home: CoreId,
+        line: LineAddr,
+        back: bool,
+        now: Cycle,
+    ) {
+        // Broadcast invalidations reach every tile, but a copy answers only
+        // to its own home. This matters for R-NUCA-replicated instruction
+        // lines: the same address is homed per cluster, and a broadcast
+        // from one cluster's home must not kill (or collect acks from)
+        // another cluster's copies.
+        if self.home_of(line, CoreId::new(tile)) != home {
+            return;
+        }
+        let victim = self.tiles[tile]
+            .l1d
+            .process_inv(line)
+            .or_else(|| self.tiles[tile].l1i.process_inv(line));
+        if let Some(v) = victim {
+            let reason =
+                if back { RemovalReason::BackInvalidation } else { RemovalReason::Invalidation };
+            self.cores[tile].miss_class.record_removal(line, reason);
+            self.counts.l1d_fills += u64::from(v.dirty); // dirty read-out
+            self.send(
+                CoreId::new(tile),
+                home,
+                line,
+                Payload::InvAck { util: v.utilization, dirty: v.dirty, data: v.data, back },
+                now,
+            );
+        }
+        // No copy: stay silent — the eviction notify in flight (or the
+        // broadcast over-approximation) is accounted by the home.
+    }
+
+    pub(crate) fn l1_writeback_req(
+        &mut self,
+        tile: usize,
+        home: CoreId,
+        line: LineAddr,
+        now: Cycle,
+    ) {
+        let resp = self.tiles[tile]
+            .l1d
+            .process_downgrade(line)
+            .or_else(|| self.tiles[tile].l1i.process_downgrade(line));
+        let payload = match resp {
+            Some((dirty, data)) => Payload::WbData { dirty, data },
+            None => Payload::WbNack,
+        };
+        self.send(CoreId::new(tile), home, line, payload, now);
+    }
+}

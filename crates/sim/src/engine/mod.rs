@@ -1,0 +1,364 @@
+//! The discrete-event multicore simulator engine.
+//!
+//! One [`Simulator`] models the full Table-1 machine: in-order cores
+//! executing traces, private L1s, distributed shared L2 slices with
+//! integrated directories running the locality-aware protocol, the 2-D
+//! mesh, and DRAM controllers. Methodology follows Graphite (§4.1):
+//! functional execution with analytical timing, laxly synchronized core
+//! clocks, and event-ordered interactions through the network.
+//!
+//! Key structural choices (see DESIGN.md §4 for the protocol walk-through):
+//!
+//! * **Per-line home serialization**: requests to a busy line queue at the
+//!   home tile; queueing time becomes the *L2 cache waiting time* component.
+//! * **Blocking cores**: one outstanding miss per core (in-order,
+//!   single-issue), which bounds protocol concurrency exactly as in the
+//!   evaluated machine.
+//! * **FIFO delivery per (src, dst)**: models wormhole XY links and is what
+//!   makes eviction-notify/invalidation races resolvable without NACK
+//!   retry loops.
+//!
+//! The engine is split by subsystem (DESIGN.md §2 maps this layout):
+//!
+//! * [`queue`] — the two-level calendar event queue;
+//! * [`state`] — per-core and per-tile state (L1s, L2 slice, transaction
+//!   tables, waiter queues);
+//! * [`core_side`] — trace execution, instruction fetch, replay, miss
+//!   issue and reply handling;
+//! * [`home_side`] — directory transactions, L2 installs/evictions, ack
+//!   collection, grants and waiter draining;
+//! * [`l1_side`] — remote-initiated L1 actions (invalidations, write-back
+//!   requests).
+
+pub mod queue;
+
+mod core_side;
+mod home_side;
+mod l1_side;
+mod state;
+
+use lacc_cache::SetAssocCache;
+use lacc_core::l1::L1Cache;
+use lacc_core::rnuca::{RegionClass, Rnuca};
+use lacc_dram::DramSystem;
+use lacc_energy::{EnergyCounts, EnergyParams};
+use lacc_model::{
+    CompletionBreakdown, ConfigError, CoreId, Cycle, LineAddr, LineMap, SystemConfig,
+    UtilizationHistogram,
+};
+use lacc_network::MeshNetwork;
+
+use crate::monitor::CoherenceMonitor;
+use crate::msg::{Message, Payload};
+use crate::report::{ProtocolStats, SimReport};
+use crate::sync::SyncManager;
+use crate::trace::{TraceSource, Workload};
+
+use queue::CalendarQueue;
+use state::{CoreState, TileState, Waiters};
+
+pub(crate) const INSTR_PER_LINE: u64 = 8; // 64-byte line / 8-byte instruction
+pub(crate) const INSTALL_RETRY_CYCLES: Cycle = 32;
+
+/// One scheduled occurrence in the simulation.
+#[derive(Debug)]
+pub(crate) enum Event {
+    /// (Re)start executing a core's trace at the event time.
+    CoreStep(usize),
+    /// A message arrives at its destination tile.
+    Deliver(Message),
+    /// The home's L2 tag/data access for a queued transaction completes.
+    HomeLookup { tile: usize, line: LineAddr },
+}
+
+/// Run-time switches that do not belong to the simulated machine
+/// ([`SystemConfig`] describes the machine; this describes the run).
+///
+/// # Examples
+///
+/// ```
+/// use lacc_sim::SimOptions;
+///
+/// let opts = SimOptions::default();
+/// assert!(opts.monitor && opts.panic_on_violation);
+/// let sweep = SimOptions { monitor: false, ..SimOptions::default() };
+/// assert!(!sweep.monitor);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SimOptions {
+    /// Run the shadow-memory coherence monitor (functional oracle). Large
+    /// calibration sweeps disable it to save the shadow-map traffic.
+    pub monitor: bool,
+    /// Panic on the first coherence violation (tests) instead of counting
+    /// violations into the report. Irrelevant when `monitor` is off.
+    pub panic_on_violation: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { monitor: true, panic_on_violation: true }
+    }
+}
+
+/// The full-system simulator. Construct with [`Simulator::new`] (or
+/// [`Simulator::with_options`]), then call [`Simulator::run`].
+pub struct Simulator {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) workload_name: String,
+    pub(crate) instr_lines: u64,
+    pub(crate) instr_base: LineAddr,
+    pub(crate) rnuca: Rnuca,
+    pub(crate) net: MeshNetwork,
+    pub(crate) dram: DramSystem,
+    pub(crate) sync: SyncManager,
+    pub(crate) monitor: CoherenceMonitor,
+    pub(crate) counts: EnergyCounts,
+    pub(crate) energy_params: EnergyParams,
+    pub(crate) backing: LineMap<lacc_cache::LineData>,
+    pub(crate) cores: Vec<CoreState>,
+    pub(crate) tiles: Vec<TileState>,
+    pub(crate) events: CalendarQueue<Event>,
+    pub(crate) inval_histogram: UtilizationHistogram,
+    pub(crate) evict_histogram: UtilizationHistogram,
+    pub(crate) protocol: ProtocolStats,
+    pub(crate) active_cores: usize,
+}
+
+impl Simulator {
+    /// Builds a simulator for `cfg` running `workload` with default
+    /// [`SimOptions`] (monitor on, violations panic).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from [`SystemConfig::validate`], or one
+    /// describing a workload/machine mismatch (more traces than cores).
+    pub fn new(cfg: SystemConfig, workload: Workload) -> Result<Self, ConfigError> {
+        Self::with_options(cfg, workload, SimOptions::default())
+    }
+
+    /// Builds a simulator with explicit run-time [`SimOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::new`].
+    pub fn with_options(
+        cfg: SystemConfig,
+        workload: Workload,
+        options: SimOptions,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        if workload.traces.len() > cfg.num_cores {
+            return Err(ConfigError::new(format!(
+                "workload has {} traces but the machine has {} cores",
+                workload.traces.len(),
+                cfg.num_cores
+            )));
+        }
+        let mut rnuca = Rnuca::new(cfg.num_cores, cfg.rnuca_cluster);
+        for r in &workload.regions {
+            rnuca.declare_lines(r.first_line, r.lines, r.class);
+        }
+        if workload.instr_lines > 0 {
+            rnuca.declare_lines(
+                workload.instr_base,
+                workload.instr_lines,
+                RegionClass::Instruction,
+            );
+        }
+        let net = MeshNetwork::new(cfg.num_cores, cfg.hop_router_cycles, cfg.hop_link_cycles);
+        let dram = DramSystem::new(
+            cfg.num_mem_ctrls,
+            cfg.num_cores,
+            cfg.dram_latency,
+            cfg.dram_bytes_per_cycle,
+        );
+        let active = workload.active_cores().max(1);
+        let mut traces: Vec<Option<Box<dyn TraceSource>>> =
+            workload.traces.into_iter().map(Some).collect();
+        traces.resize_with(cfg.num_cores, || None);
+
+        let cores = traces.into_iter().map(CoreState::new).collect::<Vec<_>>();
+
+        let tiles = (0..cfg.num_cores)
+            .map(|i| TileState {
+                l1i: L1Cache::new(&cfg.l1i, cfg.line_bytes, CoreId::new(i)),
+                l1d: L1Cache::new(&cfg.l1d, cfg.line_bytes, CoreId::new(i)),
+                l2: SetAssocCache::new(cfg.l2.num_sets(cfg.line_bytes), cfg.l2.associativity),
+                txns: LineMap::default(),
+                waiters: Waiters::new(),
+            })
+            .collect();
+
+        let mut sim = Simulator {
+            workload_name: workload.name,
+            instr_lines: workload.instr_lines,
+            instr_base: workload.instr_base,
+            rnuca,
+            net,
+            dram,
+            sync: SyncManager::new(active),
+            monitor: CoherenceMonitor::new(
+                options.monitor,
+                options.monitor && options.panic_on_violation,
+            ),
+            counts: EnergyCounts::default(),
+            energy_params: EnergyParams::isca13_11nm(),
+            backing: LineMap::default(),
+            cores,
+            tiles,
+            events: CalendarQueue::new(),
+            inval_histogram: UtilizationHistogram::new(),
+            evict_histogram: UtilizationHistogram::new(),
+            protocol: ProtocolStats::default(),
+            active_cores: active,
+            cfg,
+        };
+        for c in 0..sim.cores.len() {
+            if !sim.cores[c].finished {
+                sim.schedule(0, Event::CoreStep(c));
+            }
+        }
+        Ok(sim)
+    }
+
+    /// Runs to completion and produces the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system deadlocks (an event-queue drain while cores are
+    /// still blocked) — this is a protocol-bug detector, not a user error.
+    pub fn run(mut self) -> SimReport {
+        while let Some((now, ev)) = self.events.pop() {
+            match ev {
+                Event::CoreStep(c) => self.step_core(c, now),
+                Event::Deliver(msg) => self.deliver(msg, now),
+                Event::HomeLookup { tile, line } => self.home_lookup(tile, line, now),
+            }
+        }
+        let stuck: Vec<usize> =
+            (0..self.cores.len()).filter(|&c| !self.cores[c].finished).collect();
+        assert!(
+            stuck.is_empty(),
+            "deadlock: cores {stuck:?} never finished (blocked states: {:?})",
+            stuck.iter().map(|&c| self.cores[c].blocked).collect::<Vec<_>>()
+        );
+        self.build_report()
+    }
+
+    // -- infrastructure ----------------------------------------------------
+
+    pub(crate) fn schedule(&mut self, at: Cycle, ev: Event) {
+        self.events.push(at, ev);
+    }
+
+    pub(crate) fn send(
+        &mut self,
+        src: CoreId,
+        dst: CoreId,
+        line: LineAddr,
+        payload: Payload,
+        now: Cycle,
+    ) {
+        let flits = payload.flits();
+        let arrival = self.net.unicast(src, dst, flits, now);
+        self.schedule(arrival, Event::Deliver(Message { src, dst, line, payload, sent: now }));
+    }
+
+    pub(crate) fn broadcast_inv(&mut self, home: usize, line: LineAddr, back: bool, now: Cycle) {
+        let src = CoreId::new(home);
+        let arrivals = self.net.broadcast(src, 1, now);
+        for (t, &at) in arrivals.iter().enumerate() {
+            let dst = CoreId::new(t);
+            self.schedule(
+                at,
+                Event::Deliver(Message {
+                    src,
+                    dst,
+                    line,
+                    payload: Payload::Inv { back },
+                    sent: now,
+                }),
+            );
+        }
+    }
+
+    pub(crate) fn home_of(&mut self, line: LineAddr, requester: CoreId) -> CoreId {
+        self.rnuca.home_for(line, requester)
+    }
+
+    // -- message delivery --------------------------------------------------
+
+    fn deliver(&mut self, msg: Message, now: Cycle) {
+        match msg.payload {
+            Payload::ReadReq { .. } | Payload::WriteReq { .. } => {
+                self.home_request_arrival(msg, now);
+            }
+            Payload::GrantLine { .. }
+            | Payload::GrantUpgrade { .. }
+            | Payload::WordReadReply { .. }
+            | Payload::WordWriteAck { .. } => self.core_resume(msg, now),
+            Payload::Inv { back } => {
+                self.l1_invalidate(msg.dst.index(), msg.src, msg.line, back, now)
+            }
+            Payload::InvAck { util, dirty, data, back } => {
+                self.home_inv_ack(msg.dst.index(), msg.src, msg.line, util, dirty, data, back, now);
+            }
+            Payload::WbReq => self.l1_writeback_req(msg.dst.index(), msg.src, msg.line, now),
+            Payload::WbData { dirty, data } => {
+                self.home_wb_response(msg.dst.index(), msg.src, msg.line, Some((dirty, data)), now);
+            }
+            Payload::WbNack => self.home_wb_response(msg.dst.index(), msg.src, msg.line, None, now),
+            Payload::EvictNotify { util, dirty, data } => {
+                self.home_evict_notify(msg.dst.index(), msg.src, msg.line, util, dirty, data, now);
+            }
+            Payload::DramFetch => {
+                let ctrl = self.dram.ctrl_for_line(msg.line);
+                debug_assert_eq!(self.dram.tile_of(ctrl), msg.dst);
+                let done = self.dram.access(ctrl, self.cfg.line_bytes, now);
+                let data = self
+                    .backing
+                    .get(&msg.line)
+                    .copied()
+                    .unwrap_or_else(lacc_cache::LineData::zeroed);
+                self.send(msg.dst, msg.src, msg.line, Payload::DramData { data }, done);
+            }
+            Payload::DramData { data } => self.home_dram_data(msg.dst.index(), msg.line, data, now),
+            Payload::DramWriteBack { data } => {
+                let ctrl = self.dram.ctrl_for_line(msg.line);
+                let _ = self.dram.access(ctrl, self.cfg.line_bytes, now);
+                self.backing.insert(msg.line, data);
+            }
+        }
+    }
+
+    // -- reporting ----------------------------------------------------------
+
+    fn build_report(self) -> SimReport {
+        let mut counts = self.counts;
+        let net = self.net.stats();
+        counts.router_flits = net.router_flits;
+        counts.link_flits = net.link_flits;
+        let energy = self.energy_params.charge(&counts);
+        let per_core: Vec<CompletionBreakdown> =
+            (0..self.active_cores).map(|c| self.cores[c].breakdown).collect();
+        let completion_time =
+            (0..self.active_cores).map(|c| self.cores[c].clock).max().unwrap_or(0);
+        SimReport {
+            workload: self.workload_name,
+            completion_time,
+            breakdown: per_core.iter().copied().sum(),
+            per_core,
+            energy,
+            energy_counts: counts,
+            l1d: self.cores.iter().map(|c| c.l1d_stats).sum(),
+            l1i: self.cores.iter().map(|c| c.l1i_stats).sum(),
+            inval_histogram: self.inval_histogram,
+            evict_histogram: self.evict_histogram,
+            net,
+            dram: self.dram.stats(),
+            protocol: self.protocol,
+            instructions: self.cores.iter().map(|c| c.instructions).sum(),
+            monitor: self.monitor.report().clone(),
+        }
+    }
+}

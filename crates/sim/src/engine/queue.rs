@@ -1,0 +1,203 @@
+//! The event queue: a two-level bucket (calendar) queue.
+//!
+//! The simulator previously ordered events with a
+//! `BinaryHeap<Reverse<(cycle, seq)>>` — `O(log n)` comparisons and a
+//! pointer-chasing sift per operation on the hottest path in the
+//! repository (every message hop, core step and L2 lookup is one event).
+//! Simulated time, however, is an integer that only moves forward, and
+//! almost every event lands within a few hundred cycles of *now* (mesh
+//! hops, L2 latency, DRAM round trips). A calendar queue exploits that:
+//!
+//! * a **near wheel** of `WINDOW` per-cycle FIFO buckets covers
+//!   `[now, now + WINDOW)`; push is "append to `bucket[cycle % WINDOW]`",
+//!   pop is "advance the cursor to the next non-empty bucket and pop its
+//!   front" — both O(1) amortized, no comparisons;
+//! * a **far map** (`BTreeMap<cycle, Vec>`) holds the rare events beyond
+//!   the window (deep DRAM/contention backlogs); whole buckets migrate
+//!   into the wheel as the cursor approaches, and an empty wheel jumps the
+//!   cursor straight to the earliest far cycle.
+//!
+//! **Ordering contract**: `pop` yields events in exactly the total order
+//! `(cycle, insertion sequence)` — identical to the `BinaryHeap` it
+//! replaced, which is what keeps simulation reports byte-identical across
+//! the swap. Within a bucket FIFO order *is* insertion order; far buckets
+//! are appended in insertion order and migrate before any newer push can
+//! land in the same wheel slot (pushes only happen between pops, and the
+//! cursor only moves during pops). The property test in
+//! `tests/engine_invariants.rs` checks this against a reference heap
+//! model.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use lacc_model::Cycle;
+
+/// Near-wheel width in cycles. Must be a power of two. Covers every
+/// common latency (hop ≈ 2, L2 ≈ 7–9, DRAM ≈ 100, install retry = 32)
+/// so the far map is touched only under heavy contention backlogs.
+const WINDOW: usize = 512;
+
+/// A monotonic-time priority queue of `(Cycle, T)` preserving insertion
+/// order among equal cycles. See the module docs for the design.
+#[derive(Debug)]
+pub struct CalendarQueue<T> {
+    near: Vec<VecDeque<T>>,
+    /// Scan cursor: no queued event is earlier than `cur`.
+    cur: Cycle,
+    near_len: usize,
+    far: BTreeMap<Cycle, Vec<T>>,
+    far_len: usize,
+    /// Cached `far.keys().next()` (`Cycle::MAX` when `far` is empty).
+    far_min: Cycle,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// Creates an empty queue starting at cycle 0.
+    #[must_use]
+    pub fn new() -> Self {
+        CalendarQueue {
+            near: (0..WINDOW).map(|_| VecDeque::new()).collect(),
+            cur: 0,
+            near_len: 0,
+            far: BTreeMap::new(),
+            far_len: 0,
+            far_min: Cycle::MAX,
+        }
+    }
+
+    /// Total queued events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.near_len + self.far_len
+    }
+
+    /// `true` when no event is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `item` at cycle `at`.
+    ///
+    /// Time is monotonic: `at` must not precede the cycle of the last
+    /// popped event (debug-asserted; a violating push is clamped to it,
+    /// matching how a heap would deliver it immediately anyway).
+    pub fn push(&mut self, at: Cycle, item: T) {
+        debug_assert!(at >= self.cur, "event scheduled at {at} before current cycle {}", self.cur);
+        let at = at.max(self.cur);
+        if at < self.cur + WINDOW as Cycle {
+            self.near[at as usize % WINDOW].push_back(item);
+            self.near_len += 1;
+        } else {
+            self.far.entry(at).or_default().push(item);
+            self.far_len += 1;
+            if at < self.far_min {
+                self.far_min = at;
+            }
+        }
+    }
+
+    /// Removes and returns the earliest event as `(cycle, item)`; equal
+    /// cycles pop in push order.
+    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+        loop {
+            // Migrate far buckets that entered the near window. A wheel
+            // slot a far bucket lands in is necessarily empty: its
+            // previous occupant cycle is < cur (already drained) and no
+            // direct push can have targeted this cycle while it was still
+            // outside the window.
+            while self.far_min < self.cur + WINDOW as Cycle {
+                let (at, batch) = self.far.pop_first().expect("far_min tracks a live key");
+                self.far_len -= batch.len();
+                self.near_len += batch.len();
+                let slot = &mut self.near[at as usize % WINDOW];
+                debug_assert!(slot.is_empty(), "far bucket migrating into an occupied slot");
+                slot.extend(batch);
+                self.far_min = self.far.keys().next().copied().unwrap_or(Cycle::MAX);
+            }
+            if self.near_len == 0 {
+                if self.far_len == 0 {
+                    return None;
+                }
+                // Nothing in the window: jump straight to the earliest far
+                // cycle instead of scanning empty buckets.
+                self.cur = self.far_min;
+                continue;
+            }
+            let slot = &mut self.near[self.cur as usize % WINDOW];
+            if let Some(item) = slot.pop_front() {
+                self.near_len -= 1;
+                return Some((self.cur, item));
+            }
+            self.cur += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_cycle_then_fifo_order() {
+        let mut q = CalendarQueue::new();
+        q.push(5, "a");
+        q.push(3, "b");
+        q.push(5, "c");
+        q.push(3, "d");
+        let order: Vec<(Cycle, &str)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(3, "b"), (3, "d"), (5, "a"), (5, "c")]);
+    }
+
+    #[test]
+    fn far_events_jump_the_cursor() {
+        let mut q = CalendarQueue::new();
+        q.push(1_000_000, "far");
+        q.push(2, "near");
+        assert_eq!(q.pop(), Some((2, "near")));
+        assert_eq!(q.pop(), Some((1_000_000, "far")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_and_near_interleave_at_the_same_cycle() {
+        let mut q = CalendarQueue::new();
+        let target = WINDOW as Cycle + 100;
+        q.push(target, 1); // lands far
+        q.push(200, 0);
+        assert_eq!(q.pop(), Some((200, 0)));
+        // target is now inside the window: this push must order *after*
+        // the migrated far event at the same cycle.
+        q.push(target, 2);
+        assert_eq!(q.pop(), Some((target, 1)));
+        assert_eq!(q.pop(), Some((target, 2)));
+    }
+
+    #[test]
+    fn push_at_current_cycle_during_drain() {
+        let mut q = CalendarQueue::new();
+        q.push(10, 1);
+        assert_eq!(q.pop(), Some((10, 1)));
+        q.push(10, 2); // an event scheduling a same-cycle successor
+        q.push(11, 3);
+        assert_eq!(q.pop(), Some((10, 2)));
+        assert_eq!(q.pop(), Some((11, 3)));
+    }
+
+    #[test]
+    fn len_spans_both_levels() {
+        let mut q = CalendarQueue::new();
+        q.push(1, ());
+        q.push(1_000_000, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 0);
+    }
+}

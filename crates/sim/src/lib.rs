@@ -43,15 +43,15 @@
 //! # Ok::<(), lacc_model::ConfigError>(())
 //! ```
 
+pub mod engine;
 pub mod ltf;
 pub mod monitor;
 pub mod msg;
 pub mod report;
 pub mod sync;
-pub mod system;
 pub mod trace;
 
+pub use engine::{SimOptions, Simulator};
 pub use monitor::CoherenceMonitor;
 pub use report::{ProtocolStats, SimReport};
-pub use system::Simulator;
 pub use trace::{RegionDecl, TraceOp, TraceSource, VecTrace, Workload};

@@ -15,9 +15,7 @@
 //! point itself. Any stale read — a missed invalidation, a lost write-back,
 //! a wrong merge — breaks the equality immediately.
 
-use std::collections::HashMap;
-
-use lacc_model::{CoreId, LineAddr};
+use lacc_model::{CoreId, FxHashMap, LineAddr};
 
 /// Statistics and failure record of the monitor.
 #[derive(Clone, Debug, Default)]
@@ -35,7 +33,7 @@ pub struct MonitorReport {
 /// Shadow-memory coherence checker.
 #[derive(Clone, Debug)]
 pub struct CoherenceMonitor {
-    shadow: HashMap<(LineAddr, u8), u64>,
+    shadow: FxHashMap<(LineAddr, u8), u64>,
     enabled: bool,
     panic_on_violation: bool,
     report: MonitorReport,
@@ -48,7 +46,7 @@ impl CoherenceMonitor {
     #[must_use]
     pub fn new(enabled: bool, panic_on_violation: bool) -> Self {
         CoherenceMonitor {
-            shadow: HashMap::new(),
+            shadow: FxHashMap::default(),
             enabled,
             panic_on_violation,
             report: MonitorReport::default(),

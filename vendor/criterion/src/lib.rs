@@ -14,8 +14,24 @@
 //!
 //! Statistical machinery (outlier analysis, HTML reports, comparisons) is
 //! intentionally absent.
+//!
+//! Two lacc-specific extensions:
+//!
+//! * after a `cargo bench` run, every measured median is merged into
+//!   `results/bench_summary.json` (one JSON array of
+//!   `{"suite","name","median_ns"}` objects, keyed by the bench binary's
+//!   name) so performance can be tracked across PRs;
+//! * setting `LACC_BENCH_FAST=1` skips calibration and runs two one-shot
+//!   samples per benchmark — a smoke mode for CI that still exercises
+//!   every bench body and produces a well-formed summary (the timings are
+//!   meaningless).
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Medians measured during this process, drained by
+/// [`write_bench_summary`].
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 /// An opaque barrier against the optimizer, same contract as
 /// `criterion::black_box`.
@@ -134,6 +150,20 @@ impl Bencher {
             black_box(body());
             return;
         }
+        if std::env::var_os("LACC_BENCH_FAST").is_some() {
+            // Smoke mode: two one-shot samples, no calibration. Times are
+            // meaningless but the summary pipeline runs end to end.
+            let mut per_iter: Vec<f64> = (0..2)
+                .map(|_| {
+                    let t = Instant::now();
+                    black_box(body());
+                    t.elapsed().as_nanos() as f64
+                })
+                .collect();
+            per_iter.sort_by(|a, b| a.total_cmp(b));
+            self.result_ns = Some(per_iter[per_iter.len() / 2]);
+            return;
+        }
         // Calibrate: grow the per-sample iteration count until one sample
         // costs ~2ms, so short bodies aren't dominated by timer noise.
         let mut iters: u64 = 1;
@@ -183,9 +213,133 @@ where
                 None => String::new(),
             };
             println!("{name:<48} time: {}{tput}", format_ns(ns));
+            RESULTS.lock().expect("results lock").push((name.to_string(), ns));
         }
         None => println!("{name:<48} (no Bencher::iter call)"),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Bench-trajectory summary (results/bench_summary.json)
+// ---------------------------------------------------------------------------
+
+/// One measured benchmark in the summary file.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SummaryEntry {
+    /// Bench suite (the bench target's name, e.g. `substrates`).
+    pub suite: String,
+    /// Full benchmark id (`group/name`).
+    pub name: String,
+    /// Median time per iteration in nanoseconds.
+    pub median_ns: f64,
+}
+
+/// The suite name of the running bench binary: the executable's file stem
+/// with cargo's trailing `-<hash>` stripped.
+fn current_suite() -> String {
+    let exe = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&exe)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown")
+        .to_string();
+    match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Parses entries previously written by [`write_summary_file`]. The format
+/// is our own (one object per line); unparsable lines are skipped.
+fn parse_summary(text: &str) -> Vec<SummaryEntry> {
+    // String fields end at the closing quote (ids may legally contain
+    // ',' or '}'); the numeric field ends at the object terminators.
+    fn field<'a>(line: &'a str, key: &str, ends: &[char]) -> Option<&'a str> {
+        let start = line.find(key)? + key.len();
+        let rest = &line[start..];
+        let end = rest.find(ends)?;
+        Some(&rest[..end])
+    }
+    text.lines()
+        .filter_map(|line| {
+            Some(SummaryEntry {
+                suite: field(line, "\"suite\":\"", &['"'])?.to_string(),
+                name: field(line, "\"name\":\"", &['"'])?.to_string(),
+                median_ns: field(line, "\"median_ns\":", &[',', '}'])?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+fn render_summary(entries: &[SummaryEntry]) -> String {
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        assert!(
+            !e.suite.contains(['"', '\\']) && !e.name.contains(['"', '\\']),
+            "bench ids must not need JSON escaping: {}/{}",
+            e.suite,
+            e.name
+        );
+        out.push_str(&format!(
+            "  {{\"suite\":\"{}\",\"name\":\"{}\",\"median_ns\":{:.1}}}{}\n",
+            e.suite,
+            e.name,
+            e.median_ns,
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Merges `fresh` into the summary at `path`: entries from other suites
+/// are kept, stale entries of the same suite are replaced.
+fn write_summary_file(path: &std::path::Path, suite: &str, fresh: &[(String, f64)]) {
+    let mut entries: Vec<SummaryEntry> = std::fs::read_to_string(path)
+        .map(|t| parse_summary(&t))
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|e| e.suite != suite)
+        .collect();
+    entries.extend(fresh.iter().map(|(name, ns)| SummaryEntry {
+        suite: suite.to_string(),
+        name: name.clone(),
+        median_ns: *ns,
+    }));
+    entries.sort_by(|a, b| (&a.suite, &a.name).cmp(&(&b.suite, &b.name)));
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(path, render_summary(&entries)).expect("write bench summary");
+}
+
+/// The summary file location: `$LACC_BENCH_SUMMARY` when set, else
+/// `results/bench_summary.json` at the workspace root (cargo runs bench
+/// binaries with the *package* directory as CWD, so a relative path
+/// would scatter summaries across crates; this shim is vendored two
+/// levels below the root).
+fn summary_path() -> std::path::PathBuf {
+    match std::env::var_os("LACC_BENCH_SUMMARY") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../results/bench_summary.json"),
+    }
+}
+
+/// Writes this run's medians into the summary file (no-op outside
+/// `cargo bench`, i.e. when nothing was measured). Called by
+/// [`criterion_main!`]; callable directly for custom harnesses.
+pub fn write_bench_summary() {
+    let fresh = std::mem::take(&mut *RESULTS.lock().expect("results lock"));
+    if fresh.is_empty() {
+        return;
+    }
+    let suite = current_suite();
+    let path = summary_path();
+    write_summary_file(&path, &suite, &fresh);
+    println!("bench summary: {} entries merged into {}", fresh.len(), path.display());
 }
 
 fn format_ns(ns: f64) -> String {
@@ -219,12 +373,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Defines `main` for a bench target (use with `harness = false`).
+/// Defines `main` for a bench target (use with `harness = false`). After
+/// all groups run, measured medians are merged into
+/// `results/bench_summary.json`.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_bench_summary();
         }
     };
 }
@@ -249,5 +406,56 @@ mod tests {
         g.sample_size(3).throughput(Throughput::Elements(10));
         g.bench_function("one", |b| b.iter(|| black_box(1 + 1)));
         g.finish();
+    }
+
+    #[test]
+    fn summary_render_parse_round_trips() {
+        let entries = vec![
+            SummaryEntry { suite: "s1".into(), name: "g/a".into(), median_ns: 12.5 },
+            // Ids with ',' and '}' are legal and must survive the trip.
+            SummaryEntry { suite: "s1".into(), name: "mix{a,b}".into(), median_ns: 7.0 },
+            SummaryEntry { suite: "s2".into(), name: "b".into(), median_ns: 3000.0 },
+        ];
+        let text = render_summary(&entries);
+        assert_eq!(parse_summary(&text), entries);
+    }
+
+    #[test]
+    fn summary_merge_replaces_own_suite_only() {
+        let dir = std::env::temp_dir().join(format!("lacc_summary_{}", std::process::id()));
+        let path = dir.join("bench_summary.json");
+        write_summary_file(&path, "alpha", &[("one".into(), 1.0), ("two".into(), 2.0)]);
+        write_summary_file(&path, "beta", &[("x".into(), 9.0)]);
+        // Re-running alpha replaces its stale entries, keeps beta's.
+        write_summary_file(&path, "alpha", &[("one".into(), 5.0)]);
+        let got = parse_summary(&std::fs::read_to_string(&path).unwrap());
+        assert_eq!(
+            got,
+            vec![
+                SummaryEntry { suite: "alpha".into(), name: "one".into(), median_ns: 5.0 },
+                SummaryEntry { suite: "beta".into(), name: "x".into(), median_ns: 9.0 },
+            ]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn suite_name_strips_cargo_hash() {
+        // current_suite reads argv[0]; test the stripping rule directly.
+        for (stem, want) in [
+            ("substrates-30d3ab19dc55f31a", "substrates"),
+            ("figures", "figures"),
+            ("my-bench-suite", "my-bench-suite"),
+        ] {
+            let got = match stem.rsplit_once('-') {
+                Some((base, hash))
+                    if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+                {
+                    base.to_string()
+                }
+                _ => stem.to_string(),
+            };
+            assert_eq!(got, want);
+        }
     }
 }
