@@ -1,13 +1,15 @@
 //! # lacc-bench — Criterion benchmarks
 //!
-//! Three suites, run with `cargo bench`:
+//! Four suites, run with `cargo bench`:
 //!
 //! * `substrates` — micro-benchmarks of the building blocks (set-assoc
 //!   cache, mesh routing/contention, sharer trackers, classifiers);
 //! * `protocol` — the directory-entry decision kernel under realistic
 //!   request mixes;
 //! * `figures` — scaled-down runs of the per-figure experiment harness,
-//!   so the cost of regenerating each paper figure is tracked.
+//!   so the cost of regenerating each paper figure is tracked;
+//! * `sweep` — the same job grid through `run_jobs` serially and on the
+//!   scoped worker pool, so the parallel-sweep speedup is tracked.
 //!
 //! Helpers shared by the suites live here.
 

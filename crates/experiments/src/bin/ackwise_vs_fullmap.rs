@@ -2,7 +2,7 @@
 //! directory protocol and the average performance and energy consumption
 //! were found to be within 1% of each other."
 
-use lacc_experiments::{csv_row, geomean, open_results_file, run_jobs, Cli, Table};
+use lacc_experiments::{csv_row, geomean, open_results_file, Cli, Table};
 use lacc_model::config::DirectoryKind;
 
 fn main() {
@@ -14,7 +14,7 @@ fn main() {
         jobs.push(("ackwise4".to_string(), b, ackwise.clone()));
         jobs.push(("fullmap".to_string(), b, fullmap.clone()));
     }
-    let results = run_jobs(jobs, cli.scale, cli.quiet, cli.sim_options());
+    let results = cli.run_jobs(jobs);
 
     let mut csv = open_results_file("ackwise_vs_fullmap.csv");
     csv_row(

@@ -1,7 +1,13 @@
 //! Convenience runner: regenerates every table and figure in sequence by
 //! invoking the sibling experiment binaries with the same flags.
+//!
+//! All flags are forwarded verbatim — in particular `--jobs N`, so one
+//! invocation parallelizes every sweep (`--jobs 1` reproduces the serial
+//! baseline byte-for-byte; CI diffs the two). Per-binary wall-clock goes
+//! to stderr to keep stdout deterministic across worker counts.
 
 use std::process::Command;
+use std::time::Instant;
 
 const BINS: [&str; 13] = [
     "tab01_parameters",
@@ -23,16 +29,20 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let me = std::env::current_exe().expect("current exe path");
     let dir = me.parent().expect("exe dir");
+    let started = Instant::now();
     // ackwise_vs_fullmap is part of the §5 preamble; run it too.
     for bin in BINS.iter().copied().chain(std::iter::once("ackwise_vs_fullmap")) {
         println!("\n================================================================");
         println!("== {bin}");
         println!("================================================================");
+        let bin_started = Instant::now();
         let status = Command::new(dir.join(bin))
             .args(&args)
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
         assert!(status.success(), "{bin} failed");
+        eprintln!("[all_figures] {bin} took {:.2}s", bin_started.elapsed().as_secs_f64());
     }
     println!("\nAll figures and tables regenerated; CSVs in ./results/");
+    eprintln!("[all_figures] total wall-clock {:.2}s", started.elapsed().as_secs_f64());
 }

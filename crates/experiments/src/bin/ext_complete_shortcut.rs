@@ -8,7 +8,7 @@
 //! classification phase entirely — this experiment quantifies how much of
 //! Limited_3's advantage over Complete (Figure 13) the shortcut recovers.
 
-use lacc_experiments::{csv_row, geomean, open_results_file, run_jobs, Cli, Table};
+use lacc_experiments::{csv_row, geomean, open_results_file, Cli, Table};
 use lacc_model::config::{ClassifierConfig, TrackingKind};
 
 fn main() {
@@ -38,7 +38,7 @@ fn main() {
             cli.benchmarks().into_iter().map(move |b| (label.to_string(), b, cfg.clone()))
         })
         .collect();
-    let results = run_jobs(jobs, cli.scale, cli.quiet, cli.sim_options());
+    let results = cli.run_jobs(jobs);
 
     let mut csv = open_results_file("ext_complete_shortcut.csv");
     csv_row(

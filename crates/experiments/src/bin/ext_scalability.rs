@@ -12,7 +12,7 @@
 //! the scalability argument for limited locality tracking).
 
 use lacc_core::overheads::storage_report;
-use lacc_experiments::{csv_row, geomean, open_results_file, run_jobs, Cli, Table};
+use lacc_experiments::{csv_row, geomean, open_results_file, Cli, Table};
 use lacc_model::config::TrackingKind;
 use lacc_workloads::Benchmark;
 
@@ -36,7 +36,7 @@ fn main() {
             jobs.push((format!("c{cores}-pct4"), b, base.clone().with_pct(4)));
         }
     }
-    let results = run_jobs(jobs, cli.scale, cli.quiet, cli.sim_options());
+    let results = cli.run_jobs(jobs);
 
     let mut csv = open_results_file("ext_scalability.csv");
     csv_row(

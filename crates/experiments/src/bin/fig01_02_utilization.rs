@@ -5,14 +5,14 @@
 //! Paper anchor: "in streamcluster, 80% of the cache lines that are
 //! invalidated have utilization < 4".
 
-use lacc_experiments::{csv_row, open_results_file, run_jobs, Cli, Table};
+use lacc_experiments::{csv_row, open_results_file, Cli, Table};
 use lacc_model::UtilizationHistogram;
 
 fn main() {
     let cli = Cli::parse();
     let cfg = cli.base_config().with_pct(1);
     let jobs = cli.benchmarks().into_iter().map(|b| ("pct1".to_string(), b, cfg.clone())).collect();
-    let results = run_jobs(jobs, cli.scale, cli.quiet, cli.sim_options());
+    let results = cli.run_jobs(jobs);
 
     let mut csv = open_results_file("fig01_02_utilization.csv");
     csv_row(

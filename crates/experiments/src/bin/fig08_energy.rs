@@ -5,7 +5,7 @@
 //! PCT 1; links out-contribute routers at 11 nm; directory energy is
 //! negligible.
 
-use lacc_experiments::{csv_row, mean, open_results_file, run_jobs, Cli, Table, FIG89_PCTS};
+use lacc_experiments::{csv_row, mean, open_results_file, Cli, Table, FIG89_PCTS};
 
 fn main() {
     let cli = Cli::parse();
@@ -16,7 +16,7 @@ fn main() {
             cli.benchmarks().into_iter().map(move |b| (format!("pct{pct}"), b, cfg.clone()))
         })
         .collect();
-    let results = run_jobs(jobs, cli.scale, cli.quiet, cli.sim_options());
+    let results = cli.run_jobs(jobs);
 
     let mut csv = open_results_file("fig08_energy.csv");
     csv_row(

@@ -6,7 +6,7 @@
 //! streamcluster/dijkstra-ss mostly reduce L2 waiting time; patricia/tsp
 //! reduce L2→sharers; lu-nc/barnes regress past PCT 3.
 
-use lacc_experiments::{csv_row, mean, open_results_file, run_jobs, Cli, Table, FIG89_PCTS};
+use lacc_experiments::{csv_row, mean, open_results_file, Cli, Table, FIG89_PCTS};
 
 fn main() {
     let cli = Cli::parse();
@@ -17,7 +17,7 @@ fn main() {
             cli.benchmarks().into_iter().map(move |b| (format!("pct{pct}"), b, cfg.clone()))
         })
         .collect();
-    let results = run_jobs(jobs, cli.scale, cli.quiet, cli.sim_options());
+    let results = cli.run_jobs(jobs);
 
     let mut csv = open_results_file("fig09_completion.csv");
     csv_row(

@@ -6,7 +6,7 @@
 //! PCT 1 to 2 (better cache utilization); capacity and sharing misses
 //! convert into word misses as PCT rises.
 
-use lacc_experiments::{csv_row, open_results_file, run_jobs, Cli, Table, FIG10_PCTS};
+use lacc_experiments::{csv_row, open_results_file, Cli, Table, FIG10_PCTS};
 use lacc_model::MissClass;
 
 fn main() {
@@ -18,7 +18,7 @@ fn main() {
             cli.benchmarks().into_iter().map(move |b| (format!("pct{pct}"), b, cfg.clone()))
         })
         .collect();
-    let results = run_jobs(jobs, cli.scale, cli.quiet, cli.sim_options());
+    let results = cli.run_jobs(jobs);
 
     let mut csv = open_results_file("fig10_missrates.csv");
     csv_row(

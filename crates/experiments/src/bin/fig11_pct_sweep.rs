@@ -5,7 +5,7 @@
 //! Paper anchors: completion time falls to ~0.85 by PCT 3-4 then rises;
 //! energy falls to ~0.75 by PCT 4-5, stays flat to ~8, then rises.
 
-use lacc_experiments::{csv_row, geomean, open_results_file, run_jobs, Cli, Table, FIG11_PCTS};
+use lacc_experiments::{csv_row, geomean, open_results_file, Cli, Table, FIG11_PCTS};
 
 fn main() {
     let cli = Cli::parse();
@@ -16,7 +16,7 @@ fn main() {
             cli.benchmarks().into_iter().map(move |b| (format!("pct{pct}"), b, cfg.clone()))
         })
         .collect();
-    let results = run_jobs(jobs, cli.scale, cli.quiet, cli.sim_options());
+    let results = cli.run_jobs(jobs);
 
     let mut csv = open_results_file("fig11_pct_sweep.csv");
     csv_row(

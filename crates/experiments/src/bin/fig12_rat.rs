@@ -7,7 +7,7 @@
 //! Timestamp closes and nRATlevels in {2, 4, 8} are indistinguishable, so
 //! the paper picks L-2/T-16.
 
-use lacc_experiments::{csv_row, fig12_variants, geomean, open_results_file, run_jobs, Cli, Table};
+use lacc_experiments::{csv_row, fig12_variants, geomean, open_results_file, Cli, Table};
 
 fn main() {
     let cli = Cli::parse();
@@ -18,7 +18,7 @@ fn main() {
             cli.benchmarks().into_iter().map(move |b| (label.to_string(), b, cfg.clone()))
         })
         .collect();
-    let results = run_jobs(jobs, cli.scale, cli.quiet, cli.sim_options());
+    let results = cli.run_jobs(jobs);
 
     let mut csv = open_results_file("fig12_rat.csv");
     csv_row(

@@ -7,7 +7,7 @@
 //! remote mode faster); Limited_1 misclassifies radix (starts sharers
 //! remote) and bodytrack (starts them private).
 
-use lacc_experiments::{csv_row, fig13_variants, geomean, open_results_file, run_jobs, Cli, Table};
+use lacc_experiments::{csv_row, fig13_variants, geomean, open_results_file, Cli, Table};
 
 fn main() {
     let cli = Cli::parse();
@@ -20,7 +20,7 @@ fn main() {
             cli.benchmarks().into_iter().map(move |b| (label.clone(), b, cfg.clone()))
         })
         .collect();
-    let results = run_jobs(jobs, cli.scale, cli.quiet, cli.sim_options());
+    let results = cli.run_jobs(jobs);
 
     let mut csv = open_results_file("fig13_limitedk.csv");
     csv_row(

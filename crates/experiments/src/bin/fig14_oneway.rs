@@ -6,7 +6,7 @@
 //! on average; bodytrack reaches 3.3x and dijkstra-ss 2.3x in completion
 //! time.
 
-use lacc_experiments::{csv_row, geomean, open_results_file, run_jobs, Cli, Table};
+use lacc_experiments::{csv_row, geomean, open_results_file, Cli, Table};
 use lacc_model::config::ClassifierConfig;
 
 fn main() {
@@ -20,7 +20,7 @@ fn main() {
         jobs.push(("2way".to_string(), b, two_way.clone()));
         jobs.push(("1way".to_string(), b, one_way.clone()));
     }
-    let results = run_jobs(jobs, cli.scale, cli.quiet, cli.sim_options());
+    let results = cli.run_jobs(jobs);
 
     let mut csv = open_results_file("fig14_oneway.csv");
     csv_row(

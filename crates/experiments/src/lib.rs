@@ -4,20 +4,33 @@
 //! built on the helpers here: benchmark runners, PCT sweeps, classifier
 //! sweeps, normalization, geometric means and paper-style table printing.
 //! Binaries write a CSV per figure into `./results/` and print the same
-//! series to stdout.
+//! series to stdout. `docs/EXPERIMENTS.md` maps every figure and table to
+//! its binary and documents the CSV schemas.
 //!
 //! Common CLI flags (hand-rolled; every binary accepts them):
 //!
 //! * `--scale <f64>` — workload scale factor (default 1.0);
 //! * `--cores <n>` — machine size (default 64, Table 1);
 //! * `--bench <name>` — restrict to one benchmark (repeatable);
+//! * `--jobs <n>` — worker threads for the sweep (default: all cores;
+//!   `--jobs 1` runs serially on the calling thread);
 //! * `--quiet` — suppress per-run progress lines;
 //! * `--no-monitor` — disable the shadow-memory coherence monitor
 //!   (large calibration sweeps; drops its per-access checking cost).
+//!
+//! ## Parallel sweeps are deterministic
+//!
+//! Every grid point of a figure is an independent simulation, so
+//! [`run_jobs`] dispatches them across a scoped worker pool — but it
+//! aggregates results, prints progress and reports failures **in
+//! submission order**. Figure CSVs and stdout tables are byte-identical
+//! for any worker count (see DESIGN.md §7 for why this holds).
 
 use std::collections::HashMap;
 use std::io::Write as _;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 use lacc_model::config::{ClassifierConfig, MechanismKind, TrackingKind};
 use lacc_model::SystemConfig;
@@ -25,6 +38,17 @@ use lacc_sim::{SimOptions, SimReport, Simulator};
 use lacc_workloads::Benchmark;
 
 /// Parsed command-line options shared by all experiment binaries.
+///
+/// # Examples
+///
+/// ```
+/// use lacc_experiments::Cli;
+///
+/// let cli = Cli::default();
+/// assert_eq!((cli.scale, cli.cores, cli.jobs), (1.0, 64, 0)); // 0 = auto
+/// assert!(cli.sim_options().monitor);
+/// assert_eq!(cli.benchmarks().len(), 21); // the full Table-2 suite
+/// ```
 #[derive(Clone, Debug)]
 pub struct Cli {
     /// Workload scale factor.
@@ -33,10 +57,19 @@ pub struct Cli {
     pub cores: usize,
     /// Benchmark filter (empty = all 21).
     pub benches: Vec<Benchmark>,
+    /// Worker threads for [`run_jobs`]: `0` = one per available hardware
+    /// thread, `1` = serial on the calling thread.
+    pub jobs: usize,
     /// Suppress progress output.
     pub quiet: bool,
     /// Disable the coherence monitor (calibration sweeps).
     pub no_monitor: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli { scale: 1.0, cores: 64, benches: Vec::new(), jobs: 0, quiet: false, no_monitor: false }
+    }
 }
 
 impl Cli {
@@ -48,8 +81,7 @@ impl Cli {
     /// benchmark names.
     #[must_use]
     pub fn parse() -> Self {
-        let mut cli =
-            Cli { scale: 1.0, cores: 64, benches: Vec::new(), quiet: false, no_monitor: false };
+        let mut cli = Cli::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -68,10 +100,15 @@ impl Cli {
                         .unwrap_or_else(|| panic!("unknown benchmark '{}'", args[i]));
                     cli.benches.push(b);
                 }
+                "--jobs" => {
+                    i += 1;
+                    cli.jobs = args[i].parse().expect("--jobs takes an integer (0 = auto)");
+                }
                 "--quiet" => cli.quiet = true,
                 "--no-monitor" => cli.no_monitor = true,
                 other => panic!(
-                    "unknown flag '{other}' (try --scale/--cores/--bench/--quiet/--no-monitor)"
+                    "unknown flag '{other}' \
+                     (try --scale/--cores/--bench/--jobs/--quiet/--no-monitor)"
                 ),
             }
             i += 1;
@@ -100,12 +137,30 @@ impl Cli {
     pub fn sim_options(&self) -> SimOptions {
         SimOptions { monitor: !self.no_monitor, ..SimOptions::default() }
     }
+
+    /// Runs a sweep with this invocation's scale, verbosity, simulator
+    /// options and `--jobs` worker count — the one-liner every figure
+    /// binary uses. See [`run_jobs`].
+    pub fn run_jobs(&self, jobs: Vec<(String, Benchmark, SystemConfig)>) -> SweepResults {
+        run_jobs(jobs, self.scale, self.quiet, self.sim_options(), self.jobs)
+    }
 }
 
 /// The Table-1 machine scaled to `cores`: memory controllers, instruction
 /// clusters and limited-directory k are clamped so the configuration stays
 /// valid at any machine size. Shared by the figure binaries (via
 /// [`Cli::base_config`]) and the trace dump/replay tools.
+///
+/// # Examples
+///
+/// ```
+/// use lacc_experiments::config_for_cores;
+///
+/// let cfg = config_for_cores(16);
+/// assert_eq!(cfg.num_cores, 16);
+/// assert!(cfg.num_mem_ctrls <= 16);
+/// cfg.validate().expect("scaled Table-1 machines are always valid");
+/// ```
 #[must_use]
 pub fn config_for_cores(cores: usize) -> SystemConfig {
     if cores == 64 {
@@ -138,6 +193,21 @@ pub fn run_one(bench: Benchmark, cfg: &SystemConfig, scale: f64) -> SimReport {
 /// Runs one benchmark under one configuration with explicit run-time
 /// [`SimOptions`] (e.g. monitor disabled for calibration sweeps).
 ///
+/// # Examples
+///
+/// ```
+/// use lacc_experiments::run_one_opts;
+/// use lacc_model::SystemConfig;
+/// use lacc_sim::SimOptions;
+/// use lacc_workloads::Benchmark;
+///
+/// let cfg = SystemConfig::small_for_tests(4);
+/// let opts = SimOptions { monitor: false, ..SimOptions::default() };
+/// let report = run_one_opts(Benchmark::WaterSp, &cfg, 0.02, opts);
+/// assert!(report.completion_time > 0);
+/// assert_eq!(report.monitor.reads_checked, 0); // monitor was off
+/// ```
+///
 /// # Panics
 ///
 /// Panics if the configuration is invalid or the run violates coherence
@@ -157,35 +227,226 @@ pub fn run_one_opts(
     report
 }
 
-/// Runs a set of (label, benchmark, config) jobs across worker threads;
-/// results keyed by `(label, benchmark name)`.
+/// Results of one sweep, keyed by `(label, benchmark name)` and ordered
+/// by submission.
+///
+/// Produced by [`run_jobs`]. Lookups are O(1) via [`SweepResults::get`]
+/// or indexing; [`SweepResults::iter`] walks the reports in the exact
+/// order the jobs were submitted, never the order worker threads finished
+/// in — which is what keeps every figure CSV and stdout table
+/// byte-identical for any worker count.
+pub struct SweepResults {
+    order: Vec<(String, &'static str)>,
+    map: HashMap<(String, &'static str), SimReport>,
+}
+
+impl SweepResults {
+    /// Number of completed jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the sweep had no jobs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The report for `(label, benchmark name)`, if that job was run.
+    #[must_use]
+    pub fn get(&self, key: &(String, &'static str)) -> Option<&SimReport> {
+        self.map.get(key)
+    }
+
+    /// Whether a job with this key was run.
+    #[must_use]
+    pub fn contains_key(&self, key: &(String, &'static str)) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Keys and reports in submission order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(String, &'static str), &SimReport)> {
+        self.order.iter().map(|k| (k, &self.map[k]))
+    }
+}
+
+impl std::fmt::Debug for SweepResults {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepResults").field("jobs", &self.order).finish()
+    }
+}
+
+impl std::ops::Index<&(String, &'static str)> for SweepResults {
+    type Output = SimReport;
+
+    fn index(&self, key: &(String, &'static str)) -> &SimReport {
+        self.map.get(key).unwrap_or_else(|| panic!("no sweep result for {key:?}"))
+    }
+}
+
+/// Runs a set of `(label, benchmark, config)` jobs across `workers`
+/// threads (`0` = one per available hardware thread, `1` = serial on the
+/// calling thread) and aggregates the reports **in submission order**.
+///
+/// Each job builds, owns and runs its own [`Simulator`] — nothing is
+/// shared between workers except the read-only job list, which the
+/// compiler enforces via the `Send` assertions in `lacc-sim`. Progress
+/// lines (unless `quiet`) are printed by the aggregator as the completed
+/// prefix of the submission order grows, so stderr is as deterministic as
+/// the results themselves.
+///
+/// # Examples
+///
+/// ```
+/// use lacc_experiments::run_jobs;
+/// use lacc_model::SystemConfig;
+/// use lacc_sim::SimOptions;
+/// use lacc_workloads::Benchmark;
+///
+/// let cfg = SystemConfig::small_for_tests(2);
+/// let jobs = vec![
+///     ("pct1".to_string(), Benchmark::WaterSp, cfg.clone().with_pct(1)),
+///     ("pct4".to_string(), Benchmark::WaterSp, cfg.with_pct(4)),
+/// ];
+/// let results = run_jobs(jobs, 0.02, true, SimOptions::default(), 2);
+/// assert_eq!(results.len(), 2);
+/// // Iteration follows submission order, not completion order.
+/// let labels: Vec<&str> = results.iter().map(|((l, _), _)| l.as_str()).collect();
+/// assert_eq!(labels, ["pct1", "pct4"]);
+/// assert!(results[&("pct1".to_string(), "water-sp")].completion_time > 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if two jobs share a `(label, benchmark)` key, or — after every
+/// remaining job has finished — if any job panicked, with a message
+/// naming each failed job. A panicking job never deadlocks the pool or
+/// poisons the other jobs' results.
+#[must_use]
 pub fn run_jobs(
     jobs: Vec<(String, Benchmark, SystemConfig)>,
     scale: f64,
     quiet: bool,
     opts: SimOptions,
-) -> HashMap<(String, &'static str), SimReport> {
-    let results = Mutex::new(HashMap::new());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers =
-        std::thread::available_parallelism().map_or(1, |n| n.get()).min(jobs.len().max(1));
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let (label, bench, cfg) = &jobs[i];
-                let report = run_one_opts(*bench, cfg, scale, opts);
-                if !quiet {
-                    eprintln!("  [{label:>12}] {}", report.summary());
-                }
-                results.lock().unwrap().insert((label.clone(), bench.name()), report);
-            });
+    workers: usize,
+) -> SweepResults {
+    let n = jobs.len();
+    // Reject key collisions before dispatch: a duplicate would silently
+    // shadow a result, and a full-scale sweep is far too expensive to run
+    // just to find out at aggregation time.
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    for (label, bench, _) in &jobs {
+        assert!(
+            seen.insert((label.as_str(), bench.name())),
+            "duplicate sweep job ({label:?}, {:?}): labels must disambiguate grid points",
+            bench.name()
+        );
+    }
+    drop(seen);
+
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        workers
+    }
+    .min(n);
+
+    // One slot per job, filled exactly once; submission order is the slot
+    // order, whatever order the workers finish in.
+    let mut slots: Vec<Option<Result<SimReport, String>>> = Vec::new();
+    slots.resize_with(n, || None);
+
+    if workers <= 1 {
+        // Serial path (`--jobs 1`): run on the calling thread, no pool.
+        for (slot, (label, bench, cfg)) in slots.iter_mut().zip(&jobs) {
+            let res = run_caught(*bench, cfg, scale, opts);
+            progress(quiet, label, &res);
+            *slot = Some(res);
         }
-    });
-    results.into_inner().unwrap()
+    } else {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Result<SimReport, String>)>();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let jobs = &jobs;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (_, bench, cfg) = &jobs[i];
+                    let res = run_caught(*bench, cfg, scale, opts);
+                    if tx.send((i, res)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // Aggregate on this thread: buffer out-of-order arrivals and
+            // emit progress for the contiguous completed prefix.
+            let mut reported = 0;
+            for _ in 0..n {
+                let (i, res) = rx.recv().expect("a worker died without reporting its job");
+                slots[i] = Some(res);
+                while reported < n {
+                    match &slots[reported] {
+                        Some(res) => progress(quiet, &jobs[reported].0, res),
+                        None => break,
+                    }
+                    reported += 1;
+                }
+            }
+        });
+    }
+
+    let mut order = Vec::with_capacity(n);
+    let mut map = HashMap::with_capacity(n);
+    let mut failures = Vec::new();
+    for (slot, (label, bench, _)) in slots.into_iter().zip(jobs) {
+        let key = (label, bench.name());
+        match slot.expect("every job has a result once the pool drains") {
+            Ok(report) => {
+                map.insert(key.clone(), report); // keys pre-checked unique
+                order.push(key);
+            }
+            Err(msg) => failures.push(format!("[{}] {}: {msg}", key.0, key.1)),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} sweep job(s) panicked:\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+    SweepResults { order, map }
+}
+
+/// Runs one job, converting a panic into an `Err` carrying its message so
+/// the pool can finish the sweep and report the failure by label.
+fn run_caught(
+    bench: Benchmark,
+    cfg: &SystemConfig,
+    scale: f64,
+    opts: SimOptions,
+) -> Result<SimReport, String> {
+    catch_unwind(AssertUnwindSafe(|| run_one_opts(bench, cfg, scale, opts))).map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    })
+}
+
+fn progress(quiet: bool, label: &str, res: &Result<SimReport, String>) {
+    if !quiet {
+        if let Ok(report) = res {
+            eprintln!("  [{label:>12}] {}", report.summary());
+        }
+    }
 }
 
 /// Geometric mean of positive values (1.0 for an empty slice).
@@ -265,6 +526,15 @@ pub const FIG10_PCTS: [u32; 6] = [1, 2, 3, 4, 6, 8];
 pub const FIG11_PCTS: [u32; 14] = [1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 18, 20];
 
 /// Classifier variants of Figure 12, with the paper's labels.
+///
+/// # Examples
+///
+/// ```
+/// let labels: Vec<&str> =
+///     lacc_experiments::fig12_variants().iter().map(|(l, _)| *l).collect();
+/// assert_eq!(labels[0], "Timestamp"); // the normalization baseline
+/// assert_eq!(labels.len(), 7);
+/// ```
 #[must_use]
 pub fn fig12_variants() -> Vec<(&'static str, ClassifierConfig)> {
     let base =
@@ -318,6 +588,14 @@ pub fn fig12_variants() -> Vec<(&'static str, ClassifierConfig)> {
 
 /// The k values of Figure 13 (`usize::MAX` denotes the Complete
 /// classifier, labeled `Limited-64` in the paper).
+///
+/// # Examples
+///
+/// ```
+/// let v = lacc_experiments::fig13_variants(64);
+/// assert_eq!(v.len(), 5);
+/// assert_eq!(v.last().unwrap().0, "Complete"); // the baseline variant
+/// ```
 #[must_use]
 pub fn fig13_variants(num_cores: usize) -> Vec<(String, ClassifierConfig)> {
     let mut v: Vec<(String, ClassifierConfig)> = [1usize, 3, 5, 7]
@@ -387,14 +665,27 @@ mod tests {
             ("a".to_string(), Benchmark::WaterSp, cfg.clone()),
             ("b".to_string(), Benchmark::WaterSp, cfg.with_pct(1)),
         ];
-        let out = run_jobs(jobs, 0.02, true, SimOptions::default());
+        let out = run_jobs(jobs, 0.02, true, SimOptions::default(), 2);
         assert_eq!(out.len(), 2);
         assert!(out.contains_key(&("a".to_string(), "water-sp")));
+        let order: Vec<&str> = out.iter().map(|((l, _), _)| l.as_str()).collect();
+        assert_eq!(order, ["a", "b"], "iteration follows submission order");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate sweep job")]
+    fn duplicate_job_keys_are_rejected() {
+        let cfg = SystemConfig::small_for_tests(4);
+        let jobs = vec![
+            ("a".to_string(), Benchmark::WaterSp, cfg.clone()),
+            ("a".to_string(), Benchmark::WaterSp, cfg),
+        ];
+        let _ = run_jobs(jobs, 0.02, true, SimOptions::default(), 1);
     }
 
     #[test]
     fn no_monitor_runs_check_nothing() {
-        let cli = Cli { scale: 0.02, cores: 4, benches: Vec::new(), quiet: true, no_monitor: true };
+        let cli = Cli { scale: 0.02, cores: 4, quiet: true, no_monitor: true, ..Cli::default() };
         assert!(!cli.sim_options().monitor);
         let cfg = SystemConfig::small_for_tests(4);
         let r = run_one_opts(Benchmark::WaterSp, &cfg, 0.02, cli.sim_options());

@@ -21,13 +21,13 @@
 //! The engine is split by subsystem (DESIGN.md §2 maps this layout):
 //!
 //! * [`queue`] — the two-level calendar event queue;
-//! * [`state`] — per-core and per-tile state (L1s, L2 slice, transaction
+//! * `state` — per-core and per-tile state (L1s, L2 slice, transaction
 //!   tables, waiter queues);
-//! * [`core_side`] — trace execution, instruction fetch, replay, miss
+//! * `core_side` — trace execution, instruction fetch, replay, miss
 //!   issue and reply handling;
-//! * [`home_side`] — directory transactions, L2 installs/evictions, ack
+//! * `home_side` — directory transactions, L2 installs/evictions, ack
 //!   collection, grants and waiter draining;
-//! * [`l1_side`] — remote-initiated L1 actions (invalidations, write-back
+//! * `l1_side` — remote-initiated L1 actions (invalidations, write-back
 //!   requests).
 
 pub mod queue;
@@ -123,6 +123,22 @@ pub struct Simulator {
     pub(crate) protocol: ProtocolStats,
     pub(crate) active_cores: usize,
 }
+
+// The experiment harness (`lacc_experiments::run_jobs`) dispatches whole
+// simulations across worker threads: one thread builds, owns and runs one
+// `Simulator`, then sends the `SimReport` back for ordered aggregation.
+// These assertions make that isolation story a compile-time guarantee —
+// adding an `Rc`, a thread-local handle or a non-`Send` trace source
+// anywhere in the simulator breaks the build here, not racily at runtime.
+// (`Sync` is deliberately not asserted: nothing shares a live simulator.)
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Simulator>();
+    assert_send::<SystemConfig>();
+    assert_send::<SimOptions>();
+    assert_send::<SimReport>();
+    assert_send::<Workload>();
+};
 
 impl Simulator {
     /// Builds a simulator for `cfg` running `workload` with default

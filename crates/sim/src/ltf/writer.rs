@@ -1,6 +1,6 @@
 //! Serializing [`Workload`]s into LTF streams.
 //!
-//! The writer drains each per-core [`TraceSource`](crate::TraceSource) in
+//! The writer drains each per-core [`TraceSource`] in
 //! turn, so memory stays bounded by the writer's buffer no matter how long
 //! the traces are. It needs `Write + Seek` because the core offset table
 //! sits in the header but stream lengths are only known after draining:

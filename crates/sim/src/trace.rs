@@ -46,7 +46,13 @@ pub enum TraceOp {
 }
 
 /// A lazy, deterministic stream of [`TraceOp`]s for one core.
-pub trait TraceSource {
+///
+/// `Send` is a supertrait: a trace is owned by exactly one
+/// [`Simulator`](crate::Simulator), and the experiment harness dispatches
+/// whole simulations across worker threads (`lacc_experiments::run_jobs`),
+/// so every source must be movable to the thread that runs it. Sources
+/// never need `Sync` — nothing shares a trace between threads.
+pub trait TraceSource: Send {
     /// The next operation, or `None` when the core's work is done.
     fn next_op(&mut self) -> Option<TraceOp>;
 }

@@ -143,7 +143,7 @@ pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy
     VecStrategy { element, len }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     len: core::ops::Range<usize>,
