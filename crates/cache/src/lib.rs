@@ -29,7 +29,9 @@
 pub mod data;
 pub mod replacement;
 pub mod set_assoc;
+pub mod slab;
 
 pub use data::LineData;
 pub use replacement::ReplacementKind;
 pub use set_assoc::{InsertOutcome, SetAssocCache};
+pub use slab::{DataRef, DataSlab};

@@ -1,0 +1,264 @@
+//! Slab storage for cache-line payloads.
+//!
+//! A [`DataSlab`] decouples *where line data lives* from *who is talking
+//! about it*: producers allocate a slot, pass the compact 8-byte
+//! [`DataRef`] handle around (through message payloads, backing-store
+//! maps, shadow memories), and the final consumer releases the slot back
+//! to a free list. This keeps full 64-byte [`LineData`] copies off every
+//! hop of a message's life — only the handle moves — which is the
+//! in-memory mirror of the paper's flit-level distinction between
+//! header-only and header+line messages (§3.6, Table 1).
+//!
+//! Handles are *generational*: each slot carries a generation counter
+//! that advances on every allocate and release, and a [`DataRef`] is only
+//! valid while its generation matches. Use-after-release and double
+//! release therefore panic deterministically instead of silently reading
+//! recycled data — handle-lifetime bugs fail loudly.
+//!
+//! The API is deliberately iteration-free: there is no way to walk the
+//! slab, so nothing can depend on slot order and determinism never
+//! hinges on hash or allocation order. The free list is LIFO, making
+//! allocation itself deterministic for a deterministic alloc/release
+//! sequence (the simulator's single-threaded event loop provides one).
+//!
+//! # Examples
+//!
+//! ```
+//! use lacc_cache::{DataSlab, LineData};
+//!
+//! let mut slab = DataSlab::new();
+//! let mut d = LineData::zeroed();
+//! d.set_word(0, 42);
+//! let r = slab.alloc(d);
+//! assert_eq!(slab.get(r).word(0), 42);
+//! assert_eq!(slab.live(), 1);
+//! let back = slab.release(r);
+//! assert_eq!(back.word(0), 42);
+//! assert_eq!(slab.live(), 0);
+//! ```
+
+use std::num::NonZeroU32;
+
+use crate::data::LineData;
+
+/// Compact handle to a [`LineData`] stored in a [`DataSlab`].
+///
+/// 8 bytes, `Copy`, and niche-optimized so `Option<DataRef>` is the same
+/// size — a payload-bearing message costs one word where it used to cost
+/// a whole cache line. A handle is valid from [`DataSlab::alloc`] until
+/// the matching [`DataSlab::release`]; using it afterwards panics.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DataRef {
+    index: u32,
+    /// Slot generation at allocation time. Odd while the slot is live
+    /// (and therefore never zero, providing the niche).
+    generation: NonZeroU32,
+}
+
+impl DataRef {
+    /// The slot index (diagnostics only — slots are recycled, so an index
+    /// does not identify a logical line).
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.index
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    /// Odd = occupied, even = vacant. Advances by one on each allocate
+    /// and each release, so any stale handle's generation mismatches.
+    generation: u32,
+    data: LineData,
+}
+
+/// Generational slab of [`LineData`] with free-list slot reuse.
+///
+/// See the [module docs](self) for the handle-lifetime rules.
+#[derive(Clone, Debug, Default)]
+pub struct DataSlab {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl DataSlab {
+    /// An empty slab.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty slab with room for `cap` lines before regrowing.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        DataSlab { slots: Vec::with_capacity(cap), free: Vec::new(), live: 0 }
+    }
+
+    /// Stores `data` in a recycled (LIFO) or fresh slot and returns its
+    /// handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab would exceed `u32::MAX` slots.
+    pub fn alloc(&mut self, data: LineData) -> DataRef {
+        let index = match self.free.pop() {
+            Some(i) => {
+                let slot = &mut self.slots[i as usize];
+                debug_assert_eq!(slot.generation % 2, 0, "free-listed slot must be vacant");
+                slot.generation = slot.generation.wrapping_add(1);
+                slot.data = data;
+                i
+            }
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("slab exceeds u32::MAX slots");
+                self.slots.push(Slot { generation: 1, data });
+                i
+            }
+        };
+        self.live += 1;
+        let generation = NonZeroU32::new(self.slots[index as usize].generation)
+            .expect("odd generation is never zero");
+        DataRef { index, generation }
+    }
+
+    /// Reads the line behind a live handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` was already released (generation mismatch).
+    #[must_use]
+    pub fn get(&self, r: DataRef) -> &LineData {
+        let slot = &self.slots[r.index as usize];
+        assert_eq!(slot.generation, r.generation.get(), "stale DataRef: slot was released");
+        &slot.data
+    }
+
+    /// Mutable access to the line behind a live handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` was already released (generation mismatch).
+    #[must_use]
+    pub fn get_mut(&mut self, r: DataRef) -> &mut LineData {
+        let slot = &mut self.slots[r.index as usize];
+        assert_eq!(slot.generation, r.generation.get(), "stale DataRef: slot was released");
+        &mut slot.data
+    }
+
+    /// Releases the slot behind `r` back to the free list, returning its
+    /// line. The handle (and any copy of it) is dead afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double release (generation mismatch).
+    pub fn release(&mut self, r: DataRef) -> LineData {
+        let slot = &mut self.slots[r.index as usize];
+        assert_eq!(slot.generation, r.generation.get(), "double release of DataRef");
+        slot.generation = slot.generation.wrapping_add(1);
+        self.live -= 1;
+        self.free.push(r.index);
+        slot.data
+    }
+
+    /// Number of live (allocated, unreleased) lines — the leak-check
+    /// quantity: at a quiescent point it must equal the number of handles
+    /// the owner still holds.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total slots ever created (live + free-listed).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the slab has never allocated (no slots at all).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(tag: u64) -> LineData {
+        let mut d = LineData::zeroed();
+        d.set_word(0, tag);
+        d
+    }
+
+    #[test]
+    fn alloc_get_release_roundtrip() {
+        let mut s = DataSlab::new();
+        let a = s.alloc(line(1));
+        let b = s.alloc(line(2));
+        assert_eq!(s.get(a).word(0), 1);
+        assert_eq!(s.get(b).word(0), 2);
+        assert_eq!((s.live(), s.len()), (2, 2));
+        assert_eq!(s.release(a).word(0), 1);
+        assert_eq!((s.live(), s.len()), (1, 2));
+    }
+
+    #[test]
+    fn slots_are_recycled_lifo() {
+        let mut s = DataSlab::new();
+        let a = s.alloc(line(1));
+        let b = s.alloc(line(2));
+        s.release(a);
+        s.release(b);
+        // LIFO: b's slot comes back first.
+        let c = s.alloc(line(3));
+        assert_eq!(c.index(), b.index());
+        let d = s.alloc(line(4));
+        assert_eq!(d.index(), a.index());
+        assert_eq!(s.len(), 2, "no new slots were created");
+    }
+
+    #[test]
+    fn get_mut_writes_through() {
+        let mut s = DataSlab::new();
+        let r = s.alloc(line(0));
+        s.get_mut(r).set_word(3, 99);
+        assert_eq!(s.get(r).word(3), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale DataRef")]
+    fn stale_read_panics() {
+        let mut s = DataSlab::new();
+        let r = s.alloc(line(1));
+        s.release(r);
+        let _ = s.get(r);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale DataRef")]
+    fn stale_read_after_recycle_panics() {
+        let mut s = DataSlab::new();
+        let r = s.alloc(line(1));
+        s.release(r);
+        let _r2 = s.alloc(line(2)); // same slot, new generation
+        let _ = s.get(r);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics() {
+        let mut s = DataSlab::new();
+        let r = s.alloc(line(1));
+        s.release(r);
+        let _ = s.release(r);
+    }
+
+    #[test]
+    fn option_dataref_is_pointer_sized() {
+        use std::mem::size_of;
+        assert_eq!(size_of::<DataRef>(), 8);
+        assert_eq!(size_of::<Option<DataRef>>(), 8, "NonZero generation provides the niche");
+    }
+}

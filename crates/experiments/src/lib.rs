@@ -140,9 +140,14 @@ impl Cli {
 
     /// Runs a sweep with this invocation's scale, verbosity, simulator
     /// options and `--jobs` worker count — the one-liner every figure
-    /// binary uses. See [`run_jobs`].
+    /// binary uses. Grid points are dispatched largest-first using
+    /// [`Benchmark::cost_hint`] so the biggest simulations never straggle
+    /// at the tail of a parallel sweep; aggregation (and therefore every
+    /// CSV and stdout table) stays submission-ordered. See
+    /// [`run_jobs_hinted`].
     pub fn run_jobs(&self, jobs: Vec<(String, Benchmark, SystemConfig)>) -> SweepResults {
-        run_jobs(jobs, self.scale, self.quiet, self.sim_options(), self.jobs)
+        let costs: Vec<u64> = jobs.iter().map(|(_, b, _)| b.cost_hint()).collect();
+        run_jobs_hinted(jobs, self.scale, self.quiet, self.sim_options(), self.jobs, Some(&costs))
     }
 }
 
@@ -331,7 +336,49 @@ pub fn run_jobs(
     opts: SimOptions,
     workers: usize,
 ) -> SweepResults {
+    run_jobs_hinted(jobs, scale, quiet, opts, workers, None)
+}
+
+/// The order workers pull jobs in: indices sorted by descending cost
+/// hint, submission order breaking ties (and standing in entirely when
+/// no hints are given). Dispatch order affects wall-clock only — results
+/// are aggregated by submission index regardless.
+fn dispatch_order(n: usize, cost_hint: Option<&[u64]>) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    if let Some(costs) = cost_hint {
+        order.sort_by_key(|&i| std::cmp::Reverse(costs[i]));
+        // sort_by_key is stable: equal costs keep submission order.
+    }
+    order
+}
+
+/// [`run_jobs`] with an optional per-job cost hint controlling *dispatch*
+/// order.
+///
+/// With hints, workers pick up jobs largest-first, which packs the long
+/// simulations into the front of the sweep instead of letting one
+/// late-dispatched giant straggle after every other worker has drained
+/// (the classic LPT schedule). Aggregation, progress printing and the
+/// returned [`SweepResults`] remain strictly submission-ordered, so
+/// output bytes are unaffected by the hints (and by the worker count).
+///
+/// # Panics
+///
+/// As [`run_jobs`], plus if `cost_hint` is `Some` with a length other
+/// than `jobs.len()`.
+#[must_use]
+pub fn run_jobs_hinted(
+    jobs: Vec<(String, Benchmark, SystemConfig)>,
+    scale: f64,
+    quiet: bool,
+    opts: SimOptions,
+    workers: usize,
+    cost_hint: Option<&[u64]>,
+) -> SweepResults {
     let n = jobs.len();
+    if let Some(costs) = cost_hint {
+        assert_eq!(costs.len(), n, "one cost hint per job");
+    }
     // Reject key collisions before dispatch: a duplicate would silently
     // shadow a result, and a full-scale sweep is far too expensive to run
     // just to find out at aggregation time.
@@ -359,12 +406,15 @@ pub fn run_jobs(
 
     if workers <= 1 {
         // Serial path (`--jobs 1`): run on the calling thread, no pool.
+        // Cost hints are moot with a single worker — the makespan is the
+        // sum either way — so jobs run in submission order.
         for (slot, (label, bench, cfg)) in slots.iter_mut().zip(&jobs) {
             let res = run_caught(*bench, cfg, scale, opts);
             progress(quiet, label, &res);
             *slot = Some(res);
         }
     } else {
+        let dispatch = dispatch_order(n, cost_hint);
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, Result<SimReport, String>)>();
         std::thread::scope(|s| {
@@ -372,11 +422,13 @@ pub fn run_jobs(
                 let tx = tx.clone();
                 let next = &next;
                 let jobs = &jobs;
+                let dispatch = &dispatch;
                 s.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
                         break;
                     }
+                    let i = dispatch[k];
                     let (_, bench, cfg) = &jobs[i];
                     let res = run_caught(*bench, cfg, scale, opts);
                     if tx.send((i, res)).is_err() {
@@ -656,6 +708,48 @@ mod tests {
             assert_eq!(cfg.num_cores, cores);
             cfg.validate().unwrap_or_else(|e| panic!("{cores} cores: {e}"));
         }
+    }
+
+    #[test]
+    fn dispatch_order_is_largest_first_stable() {
+        assert_eq!(dispatch_order(4, None), vec![0, 1, 2, 3], "no hints: submission order");
+        assert_eq!(dispatch_order(0, None), Vec::<usize>::new());
+        // Largest first; the two 10s keep their submission order.
+        assert_eq!(dispatch_order(5, Some(&[10, 99, 10, 50, 7])), vec![1, 3, 0, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost hint per job")]
+    fn mismatched_cost_hints_are_rejected() {
+        let cfg = SystemConfig::small_for_tests(4);
+        let jobs = vec![("a".to_string(), Benchmark::WaterSp, cfg)];
+        let _ = run_jobs_hinted(jobs, 0.02, true, SimOptions::default(), 2, Some(&[1, 2]));
+    }
+
+    #[test]
+    fn hinted_dispatch_matches_unhinted_results() {
+        let cfg = SystemConfig::small_for_tests(4);
+        let jobs = || {
+            vec![
+                ("small".to_string(), Benchmark::WaterSp, cfg.clone()),
+                ("big".to_string(), Benchmark::WaterSp, cfg.clone().with_pct(1)),
+                ("mid".to_string(), Benchmark::WaterSp, cfg.clone().with_pct(4)),
+            ]
+        };
+        let plain = run_jobs(jobs(), 0.02, true, SimOptions::default(), 2);
+        // Hints reorder dispatch only: completion times and iteration
+        // order must be exactly the submission order either way.
+        let hinted =
+            run_jobs_hinted(jobs(), 0.02, true, SimOptions::default(), 2, Some(&[1, 100, 50]));
+        let key = |r: &SweepResults| -> Vec<(String, u64)> {
+            r.iter().map(|((l, _), rep)| (l.clone(), rep.completion_time)).collect()
+        };
+        assert_eq!(key(&plain), key(&hinted));
+        assert_eq!(
+            hinted.iter().map(|((l, _), _)| l.as_str()).collect::<Vec<_>>(),
+            ["small", "big", "mid"],
+            "iteration stays submission-ordered under hints"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use proptest::prelude::*;
 
-use lacc_experiments::{run_jobs, SweepResults};
+use lacc_experiments::{run_jobs, run_jobs_hinted, SweepResults};
 use lacc_model::SystemConfig;
 use lacc_sim::SimOptions;
 use lacc_workloads::Benchmark;
@@ -66,6 +66,31 @@ proptest! {
             ));
             prop_assert_eq!(&serial, &parallel, "workers={} diverged from serial", workers);
         }
+    }
+
+    // Largest-first dispatch (cost hints) is a wall-clock optimization
+    // only: for any hint vector — including adversarially inverted ones —
+    // the ordered output matches the unhinted serial baseline exactly.
+    #[test]
+    fn cost_hints_never_change_the_ordered_output(
+        seed in 0u64..(1u64 << 16),
+        njobs in 2usize..6,
+        invert in proptest::bool::ANY,
+    ) {
+        let serial =
+            fingerprint(&run_jobs(jobs_from_seed(seed, njobs), SCALE, true, SimOptions::default(), 1));
+        let costs: Vec<u64> = (0..njobs as u64)
+            .map(|i| if invert { i } else { njobs as u64 - i })
+            .collect();
+        let hinted = fingerprint(&run_jobs_hinted(
+            jobs_from_seed(seed, njobs),
+            SCALE,
+            true,
+            SimOptions::default(),
+            3,
+            Some(&costs),
+        ));
+        prop_assert_eq!(&serial, &hinted, "cost hints changed the ordered output");
     }
 }
 

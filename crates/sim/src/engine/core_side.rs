@@ -300,7 +300,10 @@ impl Simulator {
         let core_id = CoreId::new(ci);
 
         match msg.payload {
-            Payload::GrantLine { mesi, mut data, .. } => {
+            Payload::GrantLine { mesi, data, .. } => {
+                // The grant's slab slot ends here: take the line by value
+                // and install it into the private L1.
+                let mut data = self.slab.release(data);
                 if out.is_store {
                     debug_assert_eq!(mesi, MesiState::Modified);
                     data.set_word(out.word, out.value);
@@ -320,11 +323,13 @@ impl Simulator {
                 if let Some(v) = victim {
                     self.cores[ci].miss_class.record_removal(v.line, RemovalReason::Eviction);
                     let vhome = self.home_of(v.line, core_id);
+                    // A clean victim's notify is header-only: no slot.
+                    let data = if v.dirty { Some(self.slab.alloc(v.data)) } else { None };
                     self.send(
                         core_id,
                         vhome,
                         v.line,
-                        Payload::EvictNotify { util: v.utilization, dirty: v.dirty, data: v.data },
+                        Payload::EvictNotify { util: v.utilization, data },
                         now,
                     );
                 }

@@ -2,13 +2,19 @@
 //! ack collection, grants, and waiter draining.
 //!
 //! Each line has at most one in-flight transaction per home slice
-//! (`TileState::txns`); requests that find the line busy queue FIFO in
-//! `TileState::waiters` and their queueing time is charged as *L2 cache
-//! waiting time*. The decision kernel itself
-//! ([`DirectoryEntry::begin_request`]) is pure and lives in `lacc_core`;
-//! this module executes its decisions with real timing.
+//! (`TileState::txns`, slots recycled through the per-tile `TxnArena`);
+//! requests that find the line busy queue FIFO in `TileState::waiters`
+//! and their queueing time is charged as *L2 cache waiting time*. The
+//! decision kernel itself ([`DirectoryEntry::begin_request`]) is pure and
+//! lives in `lacc_core`; this module executes its decisions with real
+//! timing.
+//!
+//! Slab handle lifetimes on this side: incoming `InvAck`/`EvictNotify`/
+//! `WbData`/`DramData` payloads are released exactly once at the top of
+//! their handler (the line content continues by value); outgoing
+//! `GrantLine`/`DramWriteBack` payloads are allocated at send time.
 
-use lacc_cache::LineData;
+use lacc_cache::{DataRef, LineData};
 use lacc_core::classifier::{RemovalReason, SharerMode};
 use lacc_core::home::{AccessKind, DirectoryEntry, Grant, HomeRequest};
 use lacc_core::mesi::MesiState;
@@ -58,7 +64,7 @@ impl Simulator {
             decision: None,
             awaiting: Awaiting::Count(0),
         };
-        self.tiles[tile].txns.insert(msg.line, HomeTxn::Request(txn));
+        self.tiles[tile].txn_insert(msg.line, HomeTxn::Request(txn));
         self.schedule(now + self.cfg.l2.latency, Event::HomeLookup { tile, line: msg.line });
     }
 
@@ -68,7 +74,7 @@ impl Simulator {
         } else {
             let home = CoreId::new(tile);
             {
-                let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+                let Some(HomeTxn::Request(txn)) = self.tiles[tile].txn_mut(line) else {
                     unreachable!("lookup without transaction");
                 };
                 txn.phase = Phase::AwaitDram;
@@ -84,11 +90,11 @@ impl Simulator {
         &mut self,
         tile: usize,
         line: LineAddr,
-        data: LineData,
+        data: DataRef,
         now: Cycle,
     ) {
         {
-            let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+            let Some(HomeTxn::Request(txn)) = self.tiles[tile].txn_mut(line) else {
                 unreachable!("DRAM data without transaction");
             };
             if txn.phase == Phase::AwaitDram {
@@ -96,8 +102,10 @@ impl Simulator {
                 txn.phase = Phase::Installing;
             }
         }
-        if !self.install_l2_line(tile, line, data, now) {
-            // Every way in the set is protocol-busy; retry shortly.
+        if !self.install_l2_line(tile, line, *self.slab.get(data), now) {
+            // Every way in the set is protocol-busy; retry shortly. The
+            // payload's slot stays live across retries — it is released
+            // only once the line actually lands in the L2.
             let home = CoreId::new(tile);
             self.schedule(
                 now + INSTALL_RETRY_CYCLES,
@@ -111,6 +119,7 @@ impl Simulator {
             );
             return;
         }
+        let _ = self.slab.release(data);
         self.home_decide(tile, line, now);
     }
 
@@ -146,13 +155,8 @@ impl Simulator {
             None => {
                 if vmeta.dirty {
                     let ctrl_tile = self.dram.tile_of(self.dram.ctrl_for_line(vline));
-                    self.send(
-                        home,
-                        ctrl_tile,
-                        vline,
-                        Payload::DramWriteBack { data: vmeta.data },
-                        now,
-                    );
+                    let data = self.slab.alloc(vmeta.data);
+                    self.send(home, ctrl_tile, vline, Payload::DramWriteBack { data }, now);
                 }
             }
             Some(plan) => {
@@ -171,7 +175,7 @@ impl Simulator {
                         Awaiting::Count(expected_acks)
                     }
                 };
-                self.tiles[tile].txns.insert(
+                self.tiles[tile].txn_insert(
                     vline,
                     HomeTxn::Evict(EvictTxn {
                         entry: vmeta.entry,
@@ -188,7 +192,7 @@ impl Simulator {
         let decision;
         {
             let (requester, kind, hints, instr) = {
-                let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get(&line) else {
+                let Some(HomeTxn::Request(txn)) = self.tiles[tile].txn_mut(line) else {
                     unreachable!("decide without transaction");
                 };
                 (txn.requester, txn.kind, txn.hints, txn.instr)
@@ -200,7 +204,7 @@ impl Simulator {
         }
         let fetch_from = decision.fetch_from_owner;
         {
-            let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+            let Some(HomeTxn::Request(txn)) = self.tiles[tile].txn_mut(line) else {
                 unreachable!();
             };
             txn.decision = Some(decision);
@@ -218,7 +222,7 @@ impl Simulator {
 
     fn home_proceed_invalidate(&mut self, tile: usize, line: LineAddr, now: Cycle) {
         let plan = {
-            let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+            let Some(HomeTxn::Request(txn)) = self.tiles[tile].txn_mut(line) else {
                 unreachable!();
             };
             match &txn.decision.as_ref().expect("decision made").invalidate {
@@ -237,7 +241,7 @@ impl Simulator {
                     self.protocol.invalidations_sent += 1;
                     self.send(home, c, line, Payload::Inv { back: false }, now);
                 }
-                if let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) {
+                if let Some(HomeTxn::Request(txn)) = self.tiles[tile].txn_mut(line) {
                     txn.awaiting = Awaiting::Set(cores);
                 }
             }
@@ -245,7 +249,7 @@ impl Simulator {
                 self.protocol.broadcasts += 1;
                 self.protocol.invalidations_sent += 1;
                 self.broadcast_inv(tile, line, false, now);
-                if let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) {
+                if let Some(HomeTxn::Request(txn)) = self.tiles[tile].txn_mut(line) {
                     txn.awaiting = Awaiting::Count(expected_acks);
                 }
             }
@@ -260,12 +264,14 @@ impl Simulator {
         from: CoreId,
         line: LineAddr,
         util: u32,
-        dirty: bool,
-        data: LineData,
+        data: Option<DataRef>,
         back: bool,
         now: Cycle,
     ) {
-        match self.tiles[tile].txns.get_mut(&line) {
+        // Release the payload slot exactly once, whatever the line's
+        // transaction state; `Some` means the invalidated copy was dirty.
+        let data = data.map(|r| self.slab.release(r));
+        match self.tiles[tile].txn_mut(line) {
             Some(HomeTxn::Request(txn)) => {
                 debug_assert_eq!(txn.phase, Phase::AwaitAcks, "unexpected inv-ack");
                 debug_assert!(!back);
@@ -278,13 +284,13 @@ impl Simulator {
                 if mode == Some(SharerMode::Remote) {
                     self.protocol.demotions += 1;
                 }
-                if dirty {
-                    l2line.data = data;
+                if let Some(d) = data {
+                    l2line.data = d;
                     l2line.dirty = true;
                     self.counts.l2_line_writes += 1;
                 }
                 if done {
-                    let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+                    let Some(HomeTxn::Request(txn)) = self.tiles[tile].txn_mut(line) else {
                         unreachable!();
                     };
                     txn.sharers_lat += now - txn.phase_start;
@@ -294,8 +300,8 @@ impl Simulator {
             Some(HomeTxn::Evict(et)) => {
                 self.evict_histogram.record(util);
                 et.entry.sharer_response(from, util, RemovalReason::BackInvalidation);
-                if dirty {
-                    et.data = data;
+                if let Some(d) = data {
+                    et.data = d;
                     et.dirty = true;
                 }
                 et.awaiting.note_response(from);
@@ -308,31 +314,33 @@ impl Simulator {
     }
 
     fn finish_l2_eviction(&mut self, tile: usize, line: LineAddr, now: Cycle) {
-        let Some(HomeTxn::Evict(et)) = self.tiles[tile].txns.remove(&line) else {
+        let Some(HomeTxn::Evict(et)) = self.tiles[tile].txn_remove(line) else {
             unreachable!();
         };
         if et.dirty {
             let home = CoreId::new(tile);
             let ctrl_tile = self.dram.tile_of(self.dram.ctrl_for_line(line));
-            self.send(home, ctrl_tile, line, Payload::DramWriteBack { data: et.data }, now);
+            let data = self.slab.alloc(et.data);
+            self.send(home, ctrl_tile, line, Payload::DramWriteBack { data }, now);
         }
         self.drain_waiter(tile, line, now);
     }
 
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn home_evict_notify(
         &mut self,
         tile: usize,
         from: CoreId,
         line: LineAddr,
         util: u32,
-        dirty: bool,
-        data: LineData,
+        data: Option<DataRef>,
         now: Cycle,
     ) {
+        // As with inv-acks: consume the payload slot first, uncondition-
+        // ally; `Some` means the evicted copy was dirty.
+        let data = data.map(|r| self.slab.release(r));
         self.protocol.evictions += 1;
         self.evict_histogram.record(util);
-        match self.tiles[tile].txns.get_mut(&line) {
+        match self.tiles[tile].txn_mut(line) {
             Some(HomeTxn::Request(txn)) if txn.phase == Phase::AwaitAcks => {
                 let counted = txn.awaiting.note_response(from);
                 let done = txn.awaiting.done();
@@ -341,13 +349,13 @@ impl Simulator {
                 if mode == Some(SharerMode::Remote) {
                     self.protocol.demotions += 1;
                 }
-                if dirty {
-                    l2line.data = data;
+                if let Some(d) = data {
+                    l2line.data = d;
                     l2line.dirty = true;
                     self.counts.l2_line_writes += 1;
                 }
                 if counted && done {
-                    let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+                    let Some(HomeTxn::Request(txn)) = self.tiles[tile].txn_mut(line) else {
                         unreachable!();
                     };
                     txn.sharers_lat += now - txn.phase_start;
@@ -356,8 +364,8 @@ impl Simulator {
             }
             Some(HomeTxn::Evict(et)) => {
                 et.entry.sharer_response(from, util, RemovalReason::Eviction);
-                if dirty {
-                    et.data = data;
+                if let Some(d) = data {
+                    et.data = d;
                     et.dirty = true;
                 }
                 et.awaiting.note_response(from);
@@ -376,8 +384,8 @@ impl Simulator {
                 if mode == Some(SharerMode::Remote) {
                     self.protocol.demotions += 1;
                 }
-                if dirty {
-                    l2line.data = data;
+                if let Some(d) = data {
+                    l2line.data = d;
                     l2line.dirty = true;
                     self.counts.l2_line_writes += 1;
                 }
@@ -386,26 +394,30 @@ impl Simulator {
         }
     }
 
+    /// `response` is `None` for a `WbNack`, `Some(None)` for a clean
+    /// `WbData` (the owner's copy matched the resident line) and
+    /// `Some(Some(handle))` when the downgrade read out dirty data.
     pub(crate) fn home_wb_response(
         &mut self,
         tile: usize,
         owner: CoreId,
         line: LineAddr,
-        response: Option<(bool, LineData)>,
+        response: Option<Option<DataRef>>,
         now: Cycle,
     ) {
+        let response = response.map(|data| data.map(|r| self.slab.release(r)));
         {
-            let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.get_mut(&line) else {
+            let Some(HomeTxn::Request(txn)) = self.tiles[tile].txn_mut(line) else {
                 unreachable!("write-back response without transaction");
             };
             debug_assert_eq!(txn.phase, Phase::AwaitWb);
             txn.sharers_lat += now - txn.phase_start;
             let l2line = self.tiles[tile].l2.peek_mut(line).expect("resident during txn");
             match response {
-                Some((dirty, data)) => {
+                Some(data) => {
                     l2line.entry.owner_downgraded(owner);
-                    if dirty {
-                        l2line.data = data;
+                    if let Some(d) = data {
+                        l2line.data = d;
                         l2line.dirty = true;
                         self.counts.l2_line_writes += 1;
                     }
@@ -421,7 +433,7 @@ impl Simulator {
     }
 
     fn home_grant(&mut self, tile: usize, line: LineAddr, now: Cycle) {
-        let Some(HomeTxn::Request(txn)) = self.tiles[tile].txns.remove(&line) else {
+        let Some(HomeTxn::Request(txn)) = self.tiles[tile].txn_remove(line) else {
             unreachable!("grant without transaction");
         };
         let decision = txn.decision.expect("granting after decision");
@@ -443,7 +455,8 @@ impl Simulator {
                         Grant::LineExclusive => MesiState::Exclusive,
                         _ => MesiState::Modified,
                     };
-                    Payload::GrantLine { mesi, data: l2line.data, ann }
+                    let data = self.slab.alloc(l2line.data);
+                    Payload::GrantLine { mesi, data, ann }
                 }
                 Grant::Upgrade => {
                     self.counts.dir_updates += 1;

@@ -35,11 +35,14 @@ impl Simulator {
                 if back { RemovalReason::BackInvalidation } else { RemovalReason::Invalidation };
             self.cores[tile].miss_class.record_removal(line, reason);
             self.counts.l1d_fills += u64::from(v.dirty); // dirty read-out
+
+            // A clean ack is a bare header: no slab slot is allocated.
+            let data = if v.dirty { Some(self.slab.alloc(v.data)) } else { None };
             self.send(
                 CoreId::new(tile),
                 home,
                 line,
-                Payload::InvAck { util: v.utilization, dirty: v.dirty, data: v.data, back },
+                Payload::InvAck { util: v.utilization, data, back },
                 now,
             );
         }
@@ -59,7 +62,12 @@ impl Simulator {
             .process_downgrade(line)
             .or_else(|| self.tiles[tile].l1i.process_downgrade(line));
         let payload = match resp {
-            Some((dirty, data)) => Payload::WbData { dirty, data },
+            // On the wire WbData always carries the line (9 flits); in
+            // memory only a dirty copy materializes a payload — a clean
+            // one matches the home's resident data.
+            Some((dirty, data)) => {
+                Payload::WbData { data: if dirty { Some(self.slab.alloc(data)) } else { None } }
+            }
             None => Payload::WbNack,
         };
         self.send(CoreId::new(tile), home, line, payload, now);

@@ -37,7 +37,7 @@ mod home_side;
 mod l1_side;
 mod state;
 
-use lacc_cache::SetAssocCache;
+use lacc_cache::{DataRef, DataSlab, LineData, SetAssocCache};
 use lacc_core::l1::L1Cache;
 use lacc_core::rnuca::{RegionClass, Rnuca};
 use lacc_dram::DramSystem;
@@ -55,10 +55,14 @@ use crate::sync::SyncManager;
 use crate::trace::{TraceSource, Workload};
 
 use queue::CalendarQueue;
-use state::{CoreState, TileState, Waiters};
+use state::{CoreState, TileState, TxnArena, Waiters};
 
 pub(crate) const INSTR_PER_LINE: u64 = 8; // 64-byte line / 8-byte instruction
 pub(crate) const INSTALL_RETRY_CYCLES: Cycle = 32;
+/// Transaction slots pre-created per tile; blocking cores keep the
+/// simultaneous in-flight count per home slice small, so the arena
+/// rarely grows past its seed.
+pub(crate) const TXN_ARENA_SEED_SLOTS: usize = 8;
 
 /// One scheduled occurrence in the simulation.
 #[derive(Debug)]
@@ -70,6 +74,18 @@ pub(crate) enum Event {
     /// The home's L2 tag/data access for a queued transaction completes.
     HomeLookup { tile: usize, line: LineAddr },
 }
+
+// Every queued occurrence moves one `Event` through the calendar queue,
+// so its size is the hot-path unit of the whole simulation. Pre-refactor
+// (payloads embedding `LineData` inline) `Event` measured 120 bytes;
+// slab handles bound it at 64. The first bound is the acceptance
+// criterion ("drops below its pre-refactor value"), the second is the
+// measured regression pin.
+const PRE_REFACTOR_EVENT_BYTES: usize = 120;
+const _: () = {
+    assert!(std::mem::size_of::<Event>() < PRE_REFACTOR_EVENT_BYTES);
+    assert!(std::mem::size_of::<Event>() <= 64);
+};
 
 /// Run-time switches that do not belong to the simulated machine
 /// ([`SystemConfig`] describes the machine; this describes the run).
@@ -114,7 +130,13 @@ pub struct Simulator {
     pub(crate) monitor: CoherenceMonitor,
     pub(crate) counts: EnergyCounts,
     pub(crate) energy_params: EnergyParams,
-    pub(crate) backing: LineMap<lacc_cache::LineData>,
+    /// Slab backing every in-flight data payload *and* the DRAM backing
+    /// store: `backing` maps a line to its resident slab slot, and every
+    /// data-bearing `Payload` in the event queue holds a transient slot.
+    /// Invariant (checked at end of run): `slab.live() == backing.len()`
+    /// once the queue drains — anything more is a leaked message payload.
+    pub(crate) slab: DataSlab,
+    pub(crate) backing: LineMap<DataRef>,
     pub(crate) cores: Vec<CoreState>,
     pub(crate) tiles: Vec<TileState>,
     pub(crate) events: CalendarQueue<Event>,
@@ -201,6 +223,7 @@ impl Simulator {
                 l1d: L1Cache::new(&cfg.l1d, cfg.line_bytes, CoreId::new(i)),
                 l2: SetAssocCache::new(cfg.l2.num_sets(cfg.line_bytes), cfg.l2.associativity),
                 txns: LineMap::default(),
+                txn_arena: TxnArena::with_capacity(TXN_ARENA_SEED_SLOTS),
                 waiters: Waiters::new(),
             })
             .collect();
@@ -219,6 +242,7 @@ impl Simulator {
             ),
             counts: EnergyCounts::default(),
             energy_params: EnergyParams::isca13_11nm(),
+            slab: DataSlab::new(),
             backing: LineMap::default(),
             cores,
             tiles,
@@ -258,6 +282,26 @@ impl Simulator {
             "deadlock: cores {stuck:?} never finished (blocked states: {:?})",
             stuck.iter().map(|&c| self.cores[c].blocked).collect::<Vec<_>>()
         );
+        // Data-plane leak checks. With the event queue drained, the only
+        // legitimate slab residents are the DRAM backing store's lines:
+        // every message payload must have been released on delivery, and
+        // every home transaction retired. A mismatch is a handle-lifetime
+        // bug, and it fails loudly here rather than skewing a later run.
+        assert_eq!(
+            self.slab.live(),
+            self.backing.len(),
+            "data-slab leak: {} live lines but only {} backing-store entries",
+            self.slab.live(),
+            self.backing.len()
+        );
+        for (t, tile) in self.tiles.iter().enumerate() {
+            assert_eq!(
+                tile.txn_arena.live(),
+                0,
+                "tile {t}: {} home transaction(s) never retired",
+                tile.txn_arena.live()
+            );
+        }
         self.build_report()
     }
 
@@ -316,33 +360,39 @@ impl Simulator {
             Payload::Inv { back } => {
                 self.l1_invalidate(msg.dst.index(), msg.src, msg.line, back, now)
             }
-            Payload::InvAck { util, dirty, data, back } => {
-                self.home_inv_ack(msg.dst.index(), msg.src, msg.line, util, dirty, data, back, now);
+            Payload::InvAck { util, data, back } => {
+                self.home_inv_ack(msg.dst.index(), msg.src, msg.line, util, data, back, now);
             }
             Payload::WbReq => self.l1_writeback_req(msg.dst.index(), msg.src, msg.line, now),
-            Payload::WbData { dirty, data } => {
-                self.home_wb_response(msg.dst.index(), msg.src, msg.line, Some((dirty, data)), now);
+            Payload::WbData { data } => {
+                self.home_wb_response(msg.dst.index(), msg.src, msg.line, Some(data), now);
             }
             Payload::WbNack => self.home_wb_response(msg.dst.index(), msg.src, msg.line, None, now),
-            Payload::EvictNotify { util, dirty, data } => {
-                self.home_evict_notify(msg.dst.index(), msg.src, msg.line, util, dirty, data, now);
+            Payload::EvictNotify { util, data } => {
+                self.home_evict_notify(msg.dst.index(), msg.src, msg.line, util, data, now);
             }
             Payload::DramFetch => {
                 let ctrl = self.dram.ctrl_for_line(msg.line);
                 debug_assert_eq!(self.dram.tile_of(ctrl), msg.dst);
                 let done = self.dram.access(ctrl, self.cfg.line_bytes, now);
-                let data = self
-                    .backing
-                    .get(&msg.line)
-                    .copied()
-                    .unwrap_or_else(lacc_cache::LineData::zeroed);
+                // The backing store keeps its resident slot; the reply gets
+                // a transient copy the home releases on install.
+                let data = match self.backing.get(&msg.line) {
+                    Some(&r) => *self.slab.get(r),
+                    None => LineData::zeroed(),
+                };
+                let data = self.slab.alloc(data);
                 self.send(msg.dst, msg.src, msg.line, Payload::DramData { data }, done);
             }
             Payload::DramData { data } => self.home_dram_data(msg.dst.index(), msg.line, data, now),
             Payload::DramWriteBack { data } => {
                 let ctrl = self.dram.ctrl_for_line(msg.line);
                 let _ = self.dram.access(ctrl, self.cfg.line_bytes, now);
-                self.backing.insert(msg.line, data);
+                // Handle transfer: the message's slot *becomes* the backing
+                // entry — no copy, no release/realloc pair.
+                if let Some(old) = self.backing.insert(msg.line, data) {
+                    let _ = self.slab.release(old);
+                }
             }
         }
     }

@@ -92,6 +92,89 @@ pub(crate) struct L2Line {
     pub entry: DirectoryEntry,
 }
 
+// ---------------------------------------------------------------------------
+// Transaction arena
+// ---------------------------------------------------------------------------
+
+/// Index of a transaction slot in a [`TxnArena`].
+pub(crate) type TxnId = u32;
+
+/// Slot-recycling arena for in-flight home transactions.
+///
+/// A home slice begins and retires one transaction per miss it serves; with
+/// transactions stored directly in a hash map, that is one full
+/// [`HomeTxn`]-sized move in and out of the table per miss, plus the map's
+/// own churn. The arena keeps fixed-size slots alive for the whole run and
+/// recycles them through a LIFO free list: steady-state transaction
+/// turnover touches no allocator at all, and the line → transaction map
+/// shrinks to 4-byte [`TxnId`] values. Slots are only added when the
+/// number of *simultaneously* live transactions exceeds every previous
+/// high-water mark (bounded in practice by the blocking-core protocol:
+/// one outstanding request per core plus the evictions they spawn).
+///
+/// [`TxnArena::live`] is the leak-check quantity: when a tile is idle it
+/// must be zero, or a transaction was begun and never retired.
+pub(crate) struct TxnArena<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<TxnId>,
+}
+
+impl<T> TxnArena<T> {
+    /// An arena with `cap` slots pre-created (empty, free-listed).
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut arena = TxnArena { slots: Vec::with_capacity(cap), free: Vec::with_capacity(cap) };
+        for i in 0..cap {
+            arena.slots.push(None);
+            arena.free.push(i as TxnId);
+        }
+        // LIFO free list: pop order is ascending slot index.
+        arena.free.reverse();
+        arena
+    }
+
+    /// Stores `txn` in a recycled (or, past the high-water mark, fresh)
+    /// slot and returns its id.
+    pub fn insert(&mut self, txn: T) -> TxnId {
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert!(self.slots[id as usize].is_none(), "free-listed slot occupied");
+                self.slots[id as usize] = Some(txn);
+                id
+            }
+            None => {
+                let id = TxnId::try_from(self.slots.len()).expect("txn arena exceeds u32 slots");
+                self.slots.push(Some(txn));
+                id
+            }
+        }
+    }
+
+    /// Mutable access to the transaction in slot `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant (stale id).
+    pub fn get_mut(&mut self, id: TxnId) -> &mut T {
+        self.slots[id as usize].as_mut().expect("stale TxnId: slot is vacant")
+    }
+
+    /// Retires the transaction in slot `id`, recycling the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant (double retire).
+    pub fn remove(&mut self, id: TxnId) -> T {
+        let txn = self.slots[id as usize].take().expect("double retire of TxnId");
+        self.free.push(id);
+        txn
+    }
+
+    /// Number of live transactions.
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+}
+
 /// The responses a home transaction still waits for: exact identities
 /// (unicast rounds) or a bare count (ACKwise broadcast rounds).
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -204,12 +287,38 @@ impl<T> Waiters<T> {
 
 /// One tile: the private L1 pair and the local shared-L2 slice with its
 /// in-flight transaction table and waiter queues.
+///
+/// Transactions live in the slot-recycling [`TxnArena`]; `txns` maps a
+/// busy line to its arena slot. Use the `txn*` helpers — they keep the
+/// map and the arena in lock-step.
 pub(crate) struct TileState {
     pub l1i: L1Cache,
     pub l1d: L1Cache,
     pub l2: SetAssocCache<L2Line>,
-    pub txns: LineMap<HomeTxn>,
+    pub txns: LineMap<TxnId>,
+    pub txn_arena: TxnArena<HomeTxn>,
     pub waiters: Waiters<(crate::msg::Message, Cycle)>,
+}
+
+impl TileState {
+    /// The in-flight transaction on `line`, if any.
+    pub fn txn_mut(&mut self, line: LineAddr) -> Option<&mut HomeTxn> {
+        let id = *self.txns.get(&line)?;
+        Some(self.txn_arena.get_mut(id))
+    }
+
+    /// Begins a transaction on `line` (which must be idle).
+    pub fn txn_insert(&mut self, line: LineAddr, txn: HomeTxn) {
+        let id = self.txn_arena.insert(txn);
+        let prev = self.txns.insert(line, id);
+        debug_assert!(prev.is_none(), "line {line} already has an in-flight transaction");
+    }
+
+    /// Retires `line`'s transaction, recycling its arena slot.
+    pub fn txn_remove(&mut self, line: LineAddr) -> Option<HomeTxn> {
+        let id = self.txns.remove(&line)?;
+        Some(self.txn_arena.remove(id))
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +347,38 @@ mod tests {
         assert!(a.note_response(c(0)), "count mode ignores identities");
         assert!(a.done());
         assert!(!a.note_response(c(1)));
+    }
+
+    #[test]
+    fn txn_arena_recycles_slots() {
+        let mut a: TxnArena<&'static str> = TxnArena::with_capacity(2);
+        assert_eq!(a.live(), 0);
+        let x = a.insert("x");
+        let y = a.insert("y");
+        assert_eq!((x, y), (0, 1), "pre-created slots hand out in index order");
+        assert_eq!(a.live(), 2);
+        let z = a.insert("z"); // past the high-water mark: grows
+        assert_eq!(z, 2);
+        assert_eq!(a.remove(y), "y");
+        assert_eq!(a.insert("y2"), y, "retired slot is recycled, not grown");
+        assert_eq!(*a.get_mut(z), "z");
+        *a.get_mut(x) = "x2";
+        assert_eq!(a.remove(x), "x2");
+        assert_eq!(a.remove(z), "z");
+        assert_eq!(a.remove(y), "y2");
+        assert_eq!(a.live(), 0);
+        // Steady-state reuse: a full drain puts every slot back in play.
+        let again = a.insert("again");
+        assert!(again < 3, "no growth while free slots exist");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale TxnId")]
+    fn txn_arena_stale_id_panics() {
+        let mut a: TxnArena<u8> = TxnArena::with_capacity(1);
+        let id = a.insert(7);
+        a.remove(id);
+        let _ = a.get_mut(id);
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! point itself. Any stale read — a missed invalidation, a lost write-back,
 //! a wrong merge — breaks the equality immediately.
 
-use lacc_model::{CoreId, FxHashMap, LineAddr};
+use lacc_cache::{DataRef, DataSlab, LineData};
+use lacc_model::{CoreId, LineAddr, LineMap};
 
 /// Statistics and failure record of the monitor.
 #[derive(Clone, Debug, Default)]
@@ -31,9 +32,17 @@ pub struct MonitorReport {
 }
 
 /// Shadow-memory coherence checker.
+///
+/// The shadow is line-granular: one [`DataSlab`] slot per touched line,
+/// reached through a single `LineMap` lookup per checked access (rather
+/// than hashing a per-word key). Slots are allocated zero-filled on a
+/// line's first write — untouched memory reads as zero — and released
+/// never: a shadow line stays resident for the run, so the monitor's
+/// slab trivially satisfies `live() == shadow.len()`.
 #[derive(Clone, Debug)]
 pub struct CoherenceMonitor {
-    shadow: FxHashMap<(LineAddr, u8), u64>,
+    shadow: LineMap<DataRef>,
+    slab: DataSlab,
     enabled: bool,
     panic_on_violation: bool,
     report: MonitorReport,
@@ -46,7 +55,8 @@ impl CoherenceMonitor {
     #[must_use]
     pub fn new(enabled: bool, panic_on_violation: bool) -> Self {
         CoherenceMonitor {
-            shadow: FxHashMap::default(),
+            shadow: LineMap::default(),
+            slab: DataSlab::new(),
             enabled,
             panic_on_violation,
             report: MonitorReport::default(),
@@ -59,7 +69,15 @@ impl CoherenceMonitor {
             return;
         }
         self.report.writes_recorded += 1;
-        self.shadow.insert((line, word as u8), value);
+        let r = match self.shadow.get(&line) {
+            Some(&r) => r,
+            None => {
+                let r = self.slab.alloc(LineData::zeroed());
+                self.shadow.insert(line, r);
+                r
+            }
+        };
+        self.slab.get_mut(r).set_word(word, value);
     }
 
     /// Checks a read of `word` of `line` that returned `value`.
@@ -72,7 +90,7 @@ impl CoherenceMonitor {
             return;
         }
         self.report.reads_checked += 1;
-        let expected = self.shadow.get(&(line, word as u8)).copied().unwrap_or(0);
+        let expected = self.shadow.get(&line).map_or(0, |&r| self.slab.get(r).word(word));
         if value != expected {
             self.report.violations += 1;
             let msg = format!(

@@ -4,15 +4,31 @@
 //! (source, destination, address, type — with room for the line offset, a
 //! 1-bit access-width indicator and the 2-bit utilization counter), 1 extra
 //! flit per 64-bit data word, 8 extra flits for a full cache line.
+//!
+//! The in-memory representation mirrors that flit-level shape: no variant
+//! embeds line content. Data-bearing messages carry a compact
+//! [`DataRef`] handle into the simulator's [`DataSlab`]
+//! (`Simulator::slab`), and messages that are header-only on the wire —
+//! including *clean* [`Payload::InvAck`]/[`Payload::EvictNotify`] — carry
+//! no payload at all (`data: None`). [`Payload::flits`] derives from the
+//! same structure, so a message can never claim one size on the wire and
+//! occupy another in memory. The handle-lifetime rule is
+//! allocate-on-send, release-on-delivery: whoever constructs a
+//! data-bearing payload allocates the slot, the delivery handler releases
+//! it exactly once, and the end-of-run leak check in `Simulator::run`
+//! catches any violation.
 
-use lacc_cache::LineData;
+use lacc_cache::DataRef;
 use lacc_core::classifier::RequestHints;
 use lacc_core::mesi::MesiState;
 use lacc_model::{CoreId, Cycle, LatencyAnnotation, LineAddr};
 
+#[cfg(doc)]
+use lacc_cache::DataSlab;
+
 /// Message payloads. `ann` fields carry the home's latency attribution
 /// back to the requester (§4.4 breakdown).
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum Payload {
     /// L1 read miss → home. Header-only (offset + hints ride the header).
     ReadReq {
@@ -37,8 +53,8 @@ pub enum Payload {
     GrantLine {
         /// MESI state granted (S, E or M).
         mesi: MesiState,
-        /// Line content.
-        data: LineData,
+        /// Line content (slab handle; released by the requester).
+        data: DataRef,
         /// Latency attribution.
         ann: LatencyAnnotation,
     },
@@ -66,25 +82,25 @@ pub enum Payload {
         back: bool,
     },
     /// Sharer → home: invalidation ack with the final private utilization
-    /// (§3.2); dirty acks carry the line.
+    /// (§3.2); dirty acks carry the line, clean acks carry nothing.
     InvAck {
         /// Final private utilization of the invalidated copy.
         util: u32,
-        /// Whether the copy was Modified.
-        dirty: bool,
-        /// Line content (meaningful when `dirty`).
-        data: LineData,
+        /// Line content when the copy was Modified; `None` for a clean
+        /// copy (the ack is then a single header flit).
+        data: Option<DataRef>,
         /// Response to a back-invalidation.
         back: bool,
     },
     /// Home → exclusive owner: supply your copy and downgrade to S.
     WbReq,
-    /// Owner → home: synchronous write-back data.
+    /// Owner → home: synchronous write-back response. On the wire this
+    /// always carries the line (9 flits); in memory a payload is only
+    /// materialized when the copy was actually Modified — a clean copy
+    /// matches the home's resident data, so `None`.
     WbData {
-        /// Whether the copy was Modified.
-        dirty: bool,
-        /// Line content.
-        data: LineData,
+        /// Line content when the copy was dirty.
+        data: Option<DataRef>,
     },
     /// Owner → home: copy already gone (the eviction notify, ordered
     /// ahead of this message, carries the data).
@@ -94,27 +110,28 @@ pub enum Payload {
     EvictNotify {
         /// Final private utilization.
         util: u32,
-        /// Whether the copy was Modified.
-        dirty: bool,
-        /// Line content (meaningful when `dirty`).
-        data: LineData,
+        /// Line content when the copy was Modified; `None` for a clean
+        /// copy (the notify is then a single header flit).
+        data: Option<DataRef>,
     },
     /// Home → memory-controller tile: fetch a line from DRAM.
     DramFetch,
     /// Memory-controller tile → home: the fetched line.
     DramData {
         /// Line content from DRAM.
-        data: LineData,
+        data: DataRef,
     },
     /// Home → memory-controller tile: write back a dirty line.
     DramWriteBack {
         /// Line content to store.
-        data: LineData,
+        data: DataRef,
     },
 }
 
 impl Payload {
-    /// Message size in flits (Table 1 / §3.6).
+    /// Message size in flits (Table 1 / §3.6), derived from the payload
+    /// shape: header-only variants (and acks/notifies with `data: None`)
+    /// are 1 flit, word carriers are 2, line carriers are 9.
     #[must_use]
     pub fn flits(&self) -> usize {
         match self {
@@ -133,9 +150,10 @@ impl Payload {
             | Payload::WbData { .. }
             | Payload::DramData { .. }
             | Payload::DramWriteBack { .. } => 9,
-            // Header only when clean; header + line when dirty.
-            Payload::InvAck { dirty, .. } | Payload::EvictNotify { dirty, .. } => {
-                if *dirty {
+            // Header only when clean (no payload at all); header + line
+            // when the copy was dirty.
+            Payload::InvAck { data, .. } | Payload::EvictNotify { data, .. } => {
+                if data.is_some() {
                     9
                 } else {
                     1
@@ -146,7 +164,7 @@ impl Payload {
 }
 
 /// A message in flight (or queued at its destination).
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Message {
     /// Sending tile.
     pub src: CoreId,
@@ -160,19 +178,34 @@ pub struct Message {
     pub sent: Cycle,
 }
 
+// Data-plane size pins. Every `Event::Deliver` moves a `Message` through
+// the calendar queue, so these bounds are hot-path regressions, not
+// style: pre-refactor (inline `LineData` payloads) the sizes were
+// Payload = 96 and Message = 120 bytes; handle-carrying payloads bound
+// them at 40 and 64. Growing past the bound breaks the build here.
+const _: () = {
+    assert!(std::mem::size_of::<Payload>() <= 40);
+    assert!(std::mem::size_of::<Message>() <= 64);
+    // The whole point of `Option<DataRef>`: absence is free.
+    assert!(std::mem::size_of::<Option<DataRef>>() == 8);
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lacc_cache::{DataSlab, LineData};
 
     #[test]
     fn flit_sizes_match_table1() {
+        let mut slab = DataSlab::new();
+        let mut r = || slab.alloc(LineData::zeroed());
         let h = RequestHints::default();
         assert_eq!(Payload::ReadReq { hints: h, word: 0, instr: false }.flits(), 1);
         assert_eq!(Payload::WriteReq { hints: h, word: 0, value: 0 }.flits(), 2);
         assert_eq!(
             Payload::GrantLine {
                 mesi: MesiState::Shared,
-                data: LineData::zeroed(),
+                data: r(),
                 ann: LatencyAnnotation::default()
             }
             .flits(),
@@ -184,22 +217,33 @@ mod tests {
             2
         );
         assert_eq!(Payload::Inv { back: false }.flits(), 1);
-        // §3.6: the utilization counter rides the header — a clean ack or
-        // notify is a single flit.
-        assert_eq!(
-            Payload::InvAck { util: 3, dirty: false, data: LineData::zeroed(), back: false }
-                .flits(),
-            1
-        );
-        assert_eq!(
-            Payload::InvAck { util: 3, dirty: true, data: LineData::zeroed(), back: false }.flits(),
-            9
-        );
-        assert_eq!(
-            Payload::EvictNotify { util: 1, dirty: false, data: LineData::zeroed() }.flits(),
-            1
-        );
+        assert_eq!(Payload::InvAck { util: 3, data: Some(r()), back: false }.flits(), 9);
+        assert_eq!(Payload::WbData { data: Some(r()) }.flits(), 9);
+        assert_eq!(Payload::WbData { data: None }.flits(), 9, "clean WbData still ships the line");
         assert_eq!(Payload::DramFetch.flits(), 1);
-        assert_eq!(Payload::DramData { data: LineData::zeroed() }.flits(), 9);
+        assert_eq!(Payload::DramData { data: r() }.flits(), 9);
+    }
+
+    /// §3.6: the utilization counter rides the header — a clean ack or
+    /// notify is a single flit and, structurally, carries no data handle.
+    #[test]
+    fn clean_acks_are_header_only_and_carry_no_data() {
+        let clean_ack = Payload::InvAck { util: 3, data: None, back: false };
+        let clean_notify = Payload::EvictNotify { util: 1, data: None };
+        assert_eq!(clean_ack.flits(), 1);
+        assert_eq!(clean_notify.flits(), 1);
+        for p in [clean_ack, clean_notify] {
+            match p {
+                Payload::InvAck { data, .. } | Payload::EvictNotify { data, .. } => {
+                    assert!(data.is_none(), "clean messages must not hold a slab slot");
+                }
+                _ => unreachable!(),
+            }
+        }
+        // And the dirty forms are full-line messages.
+        let mut slab = DataSlab::new();
+        let d = slab.alloc(LineData::zeroed());
+        assert_eq!(Payload::InvAck { util: 3, data: Some(d), back: false }.flits(), 9);
+        assert_eq!(Payload::EvictNotify { util: 1, data: Some(d) }.flits(), 9);
     }
 }

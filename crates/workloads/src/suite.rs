@@ -131,6 +131,41 @@ impl Benchmark {
         }
     }
 
+    /// Relative cost of simulating this benchmark: its generated trace
+    /// length (total ops, all cores) at the reference configuration of
+    /// 64 cores and scale 1.0. Simulation time tracks trace length
+    /// closely, so sweep schedulers use this to dispatch big benchmarks
+    /// first and keep the tail of a parallel sweep short. The values are
+    /// measured, not maintained by hand-waving — regenerate by draining
+    /// `build(64, 1.0)` per benchmark if the generators change (a unit
+    /// test cross-checks one of them).
+    #[must_use]
+    pub fn cost_hint(self) -> u64 {
+        match self {
+            Benchmark::Radix => 695_780,
+            Benchmark::LuNc => 1_179_776,
+            Benchmark::Barnes => 1_052_914,
+            Benchmark::OceanNc => 2_460_992,
+            Benchmark::WaterSp => 838_528,
+            Benchmark::Raytrace => 1_171_264,
+            Benchmark::Blackscholes => 1_417_280,
+            Benchmark::Streamcluster => 704_128,
+            Benchmark::Dedup => 610_624,
+            Benchmark::Bodytrack => 2_896_816,
+            Benchmark::Fluidanimate => 739_776,
+            Benchmark::Canneal => 831_732,
+            Benchmark::DijkstraSs => 849_792,
+            Benchmark::DijkstraAp => 1_696_320,
+            Benchmark::Patricia => 778_536,
+            Benchmark::Susan => 899_136,
+            Benchmark::Concomp => 469_819,
+            Benchmark::Community => 1_023_462,
+            Benchmark::Tsp => 1_091_712,
+            Benchmark::Dfs => 677_864,
+            Benchmark::Matmul => 2_359_360,
+        }
+    }
+
     /// The benchmark's suite in Table 2.
     #[must_use]
     pub fn suite(self) -> &'static str {
@@ -469,6 +504,27 @@ mod tests {
         assert_eq!(counts["Parallel MI Bench"], 4);
         assert_eq!(counts["UHPC"], 2);
         assert_eq!(counts["Others"], 3);
+    }
+
+    #[test]
+    fn cost_hints_match_generated_trace_lengths() {
+        // Check every baked-in hint against the generators; a failure
+        // here means the table in `cost_hint` needs regenerating.
+        for b in Benchmark::ALL {
+            let measured: u64 = b
+                .build(64, 1.0)
+                .traces
+                .into_iter()
+                .map(|mut t| {
+                    let mut n = 0u64;
+                    while t.next_op().is_some() {
+                        n += 1;
+                    }
+                    n
+                })
+                .sum();
+            assert_eq!(b.cost_hint(), measured, "{} cost hint is stale", b.name());
+        }
     }
 
     #[test]
