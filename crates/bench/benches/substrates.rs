@@ -5,7 +5,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use lacc_cache::SetAssocCache;
+use lacc_cache::{DataSlab, LineData, SetAssocCache};
 use lacc_core::classifier::{LocalityClassifier, RemovalReason, RequestHints};
 use lacc_core::sharer::SharerTracker;
 use lacc_core::DirectoryKind;
@@ -33,6 +33,49 @@ fn bench_cache(c: &mut Criterion) {
         b.iter(|| {
             l += 1;
             black_box(cache.insert(LineAddr::new(l), l));
+        });
+    });
+    g.finish();
+}
+
+/// The data-plane question behind zero-copy residents: what does shipping
+/// a line grant cost as a handle retain vs the old 64-byte
+/// slab-read/realloc round trip, and what does the copy-on-write split
+/// cost when a write does hit a shared slot?
+fn bench_slab(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slab");
+    g.bench_function("alias_grant", |b| {
+        let mut slab = DataSlab::new();
+        let resident = slab.alloc(LineData::from_words([7; 8]));
+        b.iter(|| {
+            // Grant send + consume as handle traffic: no bytes move.
+            let grant = slab.retain(resident);
+            slab.release(black_box(grant));
+        });
+    });
+    g.bench_function("copy_grant", |b| {
+        let mut slab = DataSlab::new();
+        let resident = slab.alloc(LineData::from_words([7; 8]));
+        b.iter(|| {
+            // The pre-refactor path: read the resident line out by value,
+            // allocate a fresh slot for the grant, release on delivery.
+            let line = *slab.get(resident);
+            let grant = slab.alloc(line);
+            slab.release(black_box(grant));
+        });
+    });
+    g.bench_function("cow_write", |b| {
+        let mut slab = DataSlab::new();
+        let resident = slab.alloc(LineData::from_words([7; 8]));
+        let mut i = 0u64;
+        b.iter(|| {
+            // Worst case for a store: the slot is shared, so the write
+            // splits it (one 64-byte clone) before landing.
+            i += 1;
+            let alias = slab.retain(resident);
+            let own = slab.make_mut(alias);
+            slab.get_mut(own).set_word((i % 8) as usize, i);
+            slab.release(black_box(own));
         });
     });
     g.finish();
@@ -234,7 +277,7 @@ fn bench_event_queues(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_cache, bench_network, bench_sharers, bench_classifier, bench_line_maps,
-        bench_core_sets, bench_event_queues
+    targets = bench_cache, bench_slab, bench_network, bench_sharers, bench_classifier,
+        bench_line_maps, bench_core_sets, bench_event_queues
 );
 criterion_main!(benches);

@@ -11,6 +11,10 @@ use lacc_model::addr::WORDS_PER_LINE;
 
 /// The eight 64-bit words of one cache line.
 ///
+/// Aligned to its own 64-byte size so that a contiguous array of lines
+/// (a [`DataSlab`](crate::DataSlab)'s payload store) places every line
+/// in exactly one *host* cache line — a word access never straddles two.
+///
 /// # Examples
 ///
 /// ```
@@ -21,6 +25,7 @@ use lacc_model::addr::WORDS_PER_LINE;
 /// assert_eq!(d.word(0), 0);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(align(64))]
 pub struct LineData([u64; WORDS_PER_LINE as usize]);
 
 impl LineData {
@@ -109,5 +114,11 @@ mod tests {
     #[test]
     fn debug_is_nonempty() {
         assert!(format!("{:?}", LineData::zeroed()).starts_with("LineData["));
+    }
+
+    #[test]
+    fn line_fills_exactly_one_host_cache_line() {
+        assert_eq!(std::mem::size_of::<LineData>(), 64);
+        assert_eq!(std::mem::align_of::<LineData>(), 64, "array elements must not straddle");
     }
 }

@@ -34,4 +34,4 @@ pub mod slab;
 pub use data::LineData;
 pub use replacement::ReplacementKind;
 pub use set_assoc::{InsertOutcome, SetAssocCache};
-pub use slab::{DataRef, DataSlab};
+pub use slab::{DataRef, DataSlab, SlabStats};

@@ -10,14 +10,23 @@
 //! §3.6 notes the utilization update costs no extra cache access: the tag
 //! array is already written on every hit to update the LRU state; the
 //! 2-bit counter rides along.
+//!
+//! Line content lives in the simulator's shared [`DataSlab`]; the tag
+//! array stores only the 8-byte [`DataRef`] handle. The cache owns one
+//! reference per valid line: [`L1Cache::install`] takes ownership of the
+//! granted handle, removal paths ([`L1Cache::install`]'s victim,
+//! [`L1Cache::process_inv`]) hand it back to the caller, and stores go
+//! through [`DataSlab::make_mut`] so a write to a line whose slot is
+//! aliased (e.g. by the home's resident L2 copy) never leaks to the other
+//! owner.
 
-use lacc_cache::{LineData, SetAssocCache};
+use lacc_cache::{DataRef, DataSlab, SetAssocCache};
 use lacc_model::{CacheConfig, CoreId, Cycle, LineAddr};
 
 use crate::classifier::RequestHints;
 use crate::mesi::MesiState;
 
-/// One valid L1 line (Figure 5's extended tag + the data words).
+/// One valid L1 line (Figure 5's extended tag + the data handle).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct L1Line {
     /// MESI state of this copy.
@@ -28,8 +37,9 @@ pub struct L1Line {
     pub utilization: u32,
     /// Cycle of the most recent access (Timestamp classifier).
     pub last_access: Cycle,
-    /// The line's eight words (functional simulation).
-    pub data: LineData,
+    /// The line's eight words (slab handle; one reference owned by the
+    /// cache while the line is valid).
+    pub data: DataRef,
 }
 
 /// A line displaced by an install; its utilization travels to the
@@ -42,8 +52,9 @@ pub struct EvictedL1Line {
     pub dirty: bool,
     /// Final private utilization.
     pub utilization: u32,
-    /// The line content (meaningful when `dirty`).
-    pub data: LineData,
+    /// The line content. Ownership of this handle transfers to the
+    /// caller: ship it (dirty) or release it (clean).
+    pub data: DataRef,
 }
 
 /// Result of a store lookup.
@@ -92,18 +103,33 @@ impl L1Cache {
 
     /// Looks up a load. On a hit: bumps utilization, refreshes LRU and the
     /// last-access timestamp, and returns the word. On a miss: `None`.
-    pub fn load(&mut self, line: LineAddr, word: usize, now: Cycle) -> Option<u64> {
+    pub fn load(
+        &mut self,
+        line: LineAddr,
+        word: usize,
+        now: Cycle,
+        slab: &DataSlab,
+    ) -> Option<u64> {
         let l = self.tags.get_mut(line)?;
         l.utilization += 1;
         l.last_access = now;
-        Some(l.data.word(word))
+        Some(slab.get(l.data).word(word))
     }
 
     /// Looks up a store. In M/E the word is written (E upgrades to M
     /// silently) and utilization bumps; in S the store must first obtain
     /// write permission (upgrade miss) — the counter bump happens when
-    /// [`L1Cache::apply_upgrade`] completes the access.
-    pub fn store(&mut self, line: LineAddr, word: usize, value: u64, now: Cycle) -> StoreOutcome {
+    /// [`L1Cache::apply_upgrade`] completes the access. Writes go through
+    /// [`DataSlab::make_mut`], so an aliased slot splits instead of
+    /// leaking the store to its other owner.
+    pub fn store(
+        &mut self,
+        line: LineAddr,
+        word: usize,
+        value: u64,
+        now: Cycle,
+        slab: &mut DataSlab,
+    ) -> StoreOutcome {
         match self.tags.get_mut(line) {
             None => StoreOutcome::Miss,
             Some(l) => match l.mesi {
@@ -111,7 +137,8 @@ impl L1Cache {
                     l.mesi = MesiState::Modified;
                     l.utilization += 1;
                     l.last_access = now;
-                    l.data.set_word(word, value);
+                    l.data = slab.make_mut(l.data);
+                    slab.get_mut(l.data).set_word(word, value);
                     StoreOutcome::Done
                 }
                 MesiState::Shared => StoreOutcome::NeedsUpgrade,
@@ -135,15 +162,20 @@ impl L1Cache {
     }
 
     /// Installs a granted line (utilization starts at 1 — the access that
-    /// caused the miss). Returns the displaced victim, if any, whose
-    /// eviction notify the caller must send.
+    /// caused the miss), taking ownership of the `data` handle. Returns
+    /// the displaced victim, if any, whose handle (and eviction notify)
+    /// the caller must now deal with.
     pub fn install(
         &mut self,
         line: LineAddr,
         mesi: MesiState,
-        data: LineData,
+        data: DataRef,
         now: Cycle,
     ) -> Option<EvictedL1Line> {
+        // An install over an already-valid line would silently drop its
+        // handle (`SetAssocCache::insert` replaces in place). The protocol
+        // never grants a line the requester still holds.
+        debug_assert!(self.tags.get(line).is_none(), "install over valid line would leak handle");
         let fresh = L1Line { mesi, utilization: 1, last_access: now, data };
         let out = self.tags.insert(line, fresh);
         out.evicted.map(|(vline, v)| EvictedL1Line {
@@ -154,25 +186,35 @@ impl L1Cache {
         })
     }
 
-    /// Completes an upgrade: S→M, performs the pending store, bumps
-    /// utilization.
+    /// Completes an upgrade: S→M, performs the pending store (through
+    /// [`DataSlab::make_mut`] — an S copy usually aliases the home's
+    /// resident slot), bumps utilization.
     ///
     /// # Panics
     ///
     /// Panics if the line is absent or not in S (the protocol guarantees
     /// the upgrade reply only arrives while the S copy is held: the
     /// directory serializes writes to the line).
-    pub fn apply_upgrade(&mut self, line: LineAddr, word: usize, value: u64, now: Cycle) {
+    pub fn apply_upgrade(
+        &mut self,
+        line: LineAddr,
+        word: usize,
+        value: u64,
+        now: Cycle,
+        slab: &mut DataSlab,
+    ) {
         let l = self.tags.get_mut(line).expect("upgrade for absent line");
         assert_eq!(l.mesi, MesiState::Shared, "upgrade of non-shared line");
         l.mesi = MesiState::Modified;
         l.utilization += 1;
         l.last_access = now;
-        l.data.set_word(word, value);
+        l.data = slab.make_mut(l.data);
+        slab.get_mut(l.data).set_word(word, value);
     }
 
     /// Processes an invalidation: removes the copy, returning its final
-    /// utilization and (if dirty) its data for the ack. `None` when the
+    /// utilization and its data handle — ownership transfers to the
+    /// caller (ship it if dirty, release it if clean). `None` when the
     /// copy is already gone (the eviction notify is in flight and serves as
     /// the response — the core must *not* ack, §3.1/DESIGN.md).
     pub fn process_inv(&mut self, line: LineAddr) -> Option<EvictedL1Line> {
@@ -185,9 +227,12 @@ impl L1Cache {
     }
 
     /// Processes a downgrade (synchronous write-back request): M/E→S,
-    /// returning whether the copy was dirty and its data. `None` when the
-    /// copy is gone (eviction raced; the notify carries the data).
-    pub fn process_downgrade(&mut self, line: LineAddr) -> Option<(bool, LineData)> {
+    /// returning whether the copy was dirty and the **resident** data
+    /// handle — the cache keeps its reference (the line stays valid in S),
+    /// so a caller that wants to ship the data must
+    /// [`DataSlab::retain`] it. `None` when the copy is gone (eviction
+    /// raced; the notify carries the data).
+    pub fn process_downgrade(&mut self, line: LineAddr) -> Option<(bool, DataRef)> {
         let l = self.tags.peek_mut(line)?;
         let was_dirty = l.mesi.is_dirty();
         let data = l.data;
@@ -216,6 +261,7 @@ impl L1Cache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lacc_cache::LineData;
 
     fn cache() -> L1Cache {
         // 2 sets x 2 ways.
@@ -226,90 +272,130 @@ mod tests {
         LineAddr::new(n)
     }
 
+    fn zeroed(slab: &mut DataSlab) -> DataRef {
+        slab.alloc(LineData::zeroed())
+    }
+
     #[test]
     fn load_miss_then_hit_counts_utilization() {
+        let mut slab = DataSlab::new();
         let mut c = cache();
-        assert_eq!(c.load(line(0), 0, 1), None);
-        c.install(line(0), MesiState::Exclusive, LineData::zeroed(), 2);
+        assert_eq!(c.load(line(0), 0, 1, &slab), None);
+        let d = zeroed(&mut slab);
+        c.install(line(0), MesiState::Exclusive, d, 2);
         assert_eq!(c.utilization_of(line(0)), Some(1), "install counts as first use");
-        assert_eq!(c.load(line(0), 0, 3), Some(0));
-        assert_eq!(c.load(line(0), 1, 4), Some(0));
+        assert_eq!(c.load(line(0), 0, 3, &slab), Some(0));
+        assert_eq!(c.load(line(0), 1, 4, &slab), Some(0));
         assert_eq!(c.utilization_of(line(0)), Some(3));
     }
 
     #[test]
     fn store_in_e_upgrades_silently() {
+        let mut slab = DataSlab::new();
         let mut c = cache();
-        c.install(line(0), MesiState::Exclusive, LineData::zeroed(), 0);
-        assert_eq!(c.store(line(0), 2, 99, 1), StoreOutcome::Done);
+        let d = zeroed(&mut slab);
+        c.install(line(0), MesiState::Exclusive, d, 0);
+        assert_eq!(c.store(line(0), 2, 99, 1, &mut slab), StoreOutcome::Done);
         assert_eq!(c.state_of(line(0)), Some(MesiState::Modified));
-        assert_eq!(c.load(line(0), 2, 2), Some(99));
+        assert_eq!(c.load(line(0), 2, 2, &slab), Some(99));
     }
 
     #[test]
     fn store_in_s_needs_upgrade() {
+        let mut slab = DataSlab::new();
         let mut c = cache();
-        c.install(line(0), MesiState::Shared, LineData::zeroed(), 0);
-        assert_eq!(c.store(line(0), 0, 1, 1), StoreOutcome::NeedsUpgrade);
+        let d = zeroed(&mut slab);
+        c.install(line(0), MesiState::Shared, d, 0);
+        assert_eq!(c.store(line(0), 0, 1, 1, &mut slab), StoreOutcome::NeedsUpgrade);
         assert_eq!(c.utilization_of(line(0)), Some(1), "pending store not yet counted");
-        c.apply_upgrade(line(0), 0, 1, 2);
+        c.apply_upgrade(line(0), 0, 1, 2, &mut slab);
         assert_eq!(c.state_of(line(0)), Some(MesiState::Modified));
         assert_eq!(c.utilization_of(line(0)), Some(2));
-        assert_eq!(c.load(line(0), 0, 3), Some(1));
+        assert_eq!(c.load(line(0), 0, 3, &slab), Some(1));
+    }
+
+    /// A store to a line whose slot aliases another owner's copy must
+    /// split the slot, not write through it.
+    #[test]
+    fn store_on_aliased_slot_is_copy_on_write() {
+        let mut slab = DataSlab::new();
+        let mut c = cache();
+        let home_copy = zeroed(&mut slab);
+        let grant = slab.retain(home_copy);
+        c.install(line(0), MesiState::Exclusive, grant, 0);
+        assert_eq!(c.store(line(0), 0, 7, 1, &mut slab), StoreOutcome::Done);
+        assert_eq!(slab.get(home_copy).word(0), 0, "home's copy untouched");
+        assert_eq!(c.load(line(0), 0, 2, &slab), Some(7));
+        assert_eq!(slab.stats().cow_clones, 1);
     }
 
     #[test]
     fn hints_report_invalid_way() {
+        let mut slab = DataSlab::new();
         let mut c = cache();
         let h = c.hints_for(line(0));
         assert!(h.set_has_invalid);
         // Fill set 0 (lines 0 and 2 map to set 0 of 2 sets).
-        c.install(line(0), MesiState::Shared, LineData::zeroed(), 5);
-        c.install(line(2), MesiState::Shared, LineData::zeroed(), 9);
+        let d0 = zeroed(&mut slab);
+        let d2 = zeroed(&mut slab);
+        c.install(line(0), MesiState::Shared, d0, 5);
+        c.install(line(2), MesiState::Shared, d2, 9);
         let h = c.hints_for(line(4));
         assert!(!h.set_has_invalid);
         assert_eq!(h.set_min_last_access, 5);
         // Touching line 0 raises the set minimum to 9.
-        c.load(line(0), 0, 20);
+        c.load(line(0), 0, 20, &slab);
         assert_eq!(c.hints_for(line(4)).set_min_last_access, 9);
     }
 
     #[test]
     fn install_evicts_lru_and_reports_dirtiness() {
+        let mut slab = DataSlab::new();
         let mut c = cache();
-        c.install(line(0), MesiState::Exclusive, LineData::zeroed(), 0);
-        c.store(line(0), 0, 7, 1);
-        c.install(line(2), MesiState::Shared, LineData::zeroed(), 2);
+        let d0 = zeroed(&mut slab);
+        c.install(line(0), MesiState::Exclusive, d0, 0);
+        c.store(line(0), 0, 7, 1, &mut slab);
+        let d2 = zeroed(&mut slab);
+        c.install(line(2), MesiState::Shared, d2, 2);
         // Set 0 is full; line 0 is LRU... but line 0 was touched at t=1 by
         // the store, line 2 installed at t=2, so line 0 is LRU.
-        let v = c.install(line(4), MesiState::Shared, LineData::zeroed(), 3).unwrap();
+        let d4 = zeroed(&mut slab);
+        let v = c.install(line(4), MesiState::Shared, d4, 3).unwrap();
         assert_eq!(v.line, line(0));
         assert!(v.dirty);
         assert_eq!(v.utilization, 2);
-        assert_eq!(v.data.word(0), 7);
+        assert_eq!(slab.get(v.data).word(0), 7);
+        slab.release(v.data);
     }
 
     #[test]
     fn invalidation_returns_utilization_and_data() {
+        let mut slab = DataSlab::new();
         let mut c = cache();
-        c.install(line(0), MesiState::Exclusive, LineData::zeroed(), 0);
-        c.store(line(0), 3, 42, 1);
+        let d = zeroed(&mut slab);
+        c.install(line(0), MesiState::Exclusive, d, 0);
+        c.store(line(0), 3, 42, 1, &mut slab);
         let v = c.process_inv(line(0)).unwrap();
         assert!(v.dirty);
         assert_eq!(v.utilization, 2);
-        assert_eq!(v.data.word(3), 42);
+        assert_eq!(slab.get(v.data).word(3), 42);
+        slab.release(v.data);
         assert_eq!(c.process_inv(line(0)), None, "second invalidation finds nothing");
+        assert_eq!(slab.total_refs(), 0, "cache handed its only reference back");
     }
 
     #[test]
-    fn downgrade_keeps_line_shared() {
+    fn downgrade_keeps_line_shared_and_resident() {
+        let mut slab = DataSlab::new();
         let mut c = cache();
-        c.install(line(0), MesiState::Exclusive, LineData::zeroed(), 0);
-        c.store(line(0), 0, 5, 1);
+        let d = zeroed(&mut slab);
+        c.install(line(0), MesiState::Exclusive, d, 0);
+        c.store(line(0), 0, 5, 1, &mut slab);
         let (dirty, data) = c.process_downgrade(line(0)).unwrap();
         assert!(dirty);
-        assert_eq!(data.word(0), 5);
+        assert_eq!(slab.get(data).word(0), 5);
         assert_eq!(c.state_of(line(0)), Some(MesiState::Shared));
+        assert_eq!(slab.refs(data), 1, "handle still owned by the cache, not the caller");
         // A second downgrade reports clean.
         let (dirty, _) = c.process_downgrade(line(0)).unwrap();
         assert!(!dirty);
@@ -318,7 +404,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "absent line")]
     fn upgrade_of_absent_line_panics() {
+        let mut slab = DataSlab::new();
         let mut c = cache();
-        c.apply_upgrade(line(0), 0, 1, 0);
+        c.apply_upgrade(line(0), 0, 1, 0, &mut slab);
     }
 }

@@ -73,7 +73,7 @@ impl Simulator {
         let line = LineAddr::new(self.instr_base.raw() + (pos / INSTR_PER_LINE) % self.instr_lines);
         if pos % INSTR_PER_LINE == 0 {
             let clock = self.cores[ci].clock;
-            let hit = self.tiles[ci].l1i.load(line, 0, clock).is_some();
+            let hit = self.tiles[ci].l1i.load(line, 0, clock, &self.slab).is_some();
             if !hit {
                 if clock > now {
                     self.schedule(clock, Event::CoreStep(ci));
@@ -126,7 +126,7 @@ impl Simulator {
                 let line = addr.line();
                 let word = addr.word_in_line();
                 let clock = self.cores[ci].clock;
-                if let Some(v) = self.tiles[ci].l1d.load(line, word, clock) {
+                if let Some(v) = self.tiles[ci].l1d.load(line, word, clock, &self.slab) {
                     self.counts.l1d_reads += 1;
                     self.cores[ci].l1d_stats.record_hit();
                     self.cores[ci].clock += 1;
@@ -164,7 +164,7 @@ impl Simulator {
                 let line = addr.line();
                 let word = addr.word_in_line();
                 let clock = self.cores[ci].clock;
-                match self.tiles[ci].l1d.store(line, word, value, clock) {
+                match self.tiles[ci].l1d.store(line, word, value, clock, &mut self.slab) {
                     StoreOutcome::Done => {
                         self.counts.l1d_writes += 1;
                         self.cores[ci].l1d_stats.record_hit();
@@ -301,17 +301,21 @@ impl Simulator {
 
         match msg.payload {
             Payload::GrantLine { mesi, data, .. } => {
-                // The grant's slab slot ends here: take the line by value
-                // and install it into the private L1.
-                let mut data = self.slab.release(data);
-                if out.is_store {
+                // The grant's handle transfers into the private L1 — the
+                // resident copy is the granted alias. A store-miss grant
+                // writes first, through copy-on-write, since the handle
+                // usually aliases the home's resident slot.
+                let data = if out.is_store {
                     debug_assert_eq!(mesi, MesiState::Modified);
-                    data.set_word(out.word, out.value);
+                    let d = self.slab.make_mut(data);
+                    self.slab.get_mut(d).set_word(out.word, out.value);
                     self.monitor.on_write(core_id, out.line, out.word, out.value);
+                    d
                 } else {
-                    let v = data.word(out.word);
+                    let v = self.slab.get(data).word(out.word);
                     self.monitor.on_read(core_id, out.line, out.word, v);
-                }
+                    data
+                };
                 let cache =
                     if out.instr { &mut self.tiles[ci].l1i } else { &mut self.tiles[ci].l1d };
                 let victim = cache.install(out.line, mesi, data, now);
@@ -323,8 +327,14 @@ impl Simulator {
                 if let Some(v) = victim {
                     self.cores[ci].miss_class.record_removal(v.line, RemovalReason::Eviction);
                     let vhome = self.home_of(v.line, core_id);
-                    // A clean victim's notify is header-only: no slot.
-                    let data = if v.dirty { Some(self.slab.alloc(v.data)) } else { None };
+                    // A dirty victim's handle rides the notify; a clean
+                    // one is released (its notify is header-only).
+                    let data = if v.dirty {
+                        Some(v.data)
+                    } else {
+                        self.slab.release(v.data);
+                        None
+                    };
                     self.send(
                         core_id,
                         vhome,
@@ -335,7 +345,13 @@ impl Simulator {
                 }
             }
             Payload::GrantUpgrade { .. } => {
-                self.tiles[ci].l1d.apply_upgrade(out.line, out.word, out.value, now);
+                self.tiles[ci].l1d.apply_upgrade(
+                    out.line,
+                    out.word,
+                    out.value,
+                    now,
+                    &mut self.slab,
+                );
                 self.counts.l1d_writes += 1;
                 self.monitor.on_write(core_id, out.line, out.word, out.value);
             }

@@ -9,12 +9,15 @@
 //! lives in `lacc_core`; this module executes its decisions with real
 //! timing.
 //!
-//! Slab handle lifetimes on this side: incoming `InvAck`/`EvictNotify`/
-//! `WbData`/`DramData` payloads are released exactly once at the top of
-//! their handler (the line content continues by value); outgoing
-//! `GrantLine`/`DramWriteBack` payloads are allocated at send time.
+//! Slab handle lifetimes on this side (DESIGN.md §6.2): an incoming dirty
+//! `InvAck`/`EvictNotify`/`WbData` handle is *adopted* as the new resident
+//! L2 data (the previous resident handle is released); a `DramData` handle
+//! transfers straight into the resident array on install. Outgoing
+//! `GrantLine` payloads retain (alias) the resident handle — no bytes
+//! move — and `DramWriteBack` transfers the victim's handle to the memory
+//! controller. A clean L2 eviction is a pure release.
 
-use lacc_cache::{DataRef, LineData};
+use lacc_cache::DataRef;
 use lacc_core::classifier::{RemovalReason, SharerMode};
 use lacc_core::home::{AccessKind, DirectoryEntry, Grant, HomeRequest};
 use lacc_core::mesi::MesiState;
@@ -102,10 +105,10 @@ impl Simulator {
                 txn.phase = Phase::Installing;
             }
         }
-        if !self.install_l2_line(tile, line, *self.slab.get(data), now) {
+        if let Err(data) = self.install_l2_line(tile, line, data, now) {
             // Every way in the set is protocol-busy; retry shortly. The
-            // payload's slot stays live across retries — it is released
-            // only once the line actually lands in the L2.
+            // refused install hands the same handle back — the payload's
+            // slot carries over to the retry without its bytes moving.
             let home = CoreId::new(tile);
             self.schedule(
                 now + INSTALL_RETRY_CYCLES,
@@ -119,11 +122,20 @@ impl Simulator {
             );
             return;
         }
-        let _ = self.slab.release(data);
         self.home_decide(tile, line, now);
     }
 
-    fn install_l2_line(&mut self, tile: usize, line: LineAddr, data: LineData, now: Cycle) -> bool {
+    /// Installs `data` as the resident L2 line, taking ownership of the
+    /// handle. When every way of the set is protocol-busy the install is
+    /// refused and the handle comes back in `Err` — the caller retries
+    /// with it, untouched.
+    fn install_l2_line(
+        &mut self,
+        tile: usize,
+        line: LineAddr,
+        data: DataRef,
+        now: Cycle,
+    ) -> Result<(), DataRef> {
         let entry =
             DirectoryEntry::new(self.cfg.directory, &self.cfg.classifier, self.cfg.num_cores);
         let fresh = L2Line { dirty: false, data, entry };
@@ -137,13 +149,13 @@ impl Simulator {
             l != line && !txns.contains_key(&l) && !waiters.line_busy(l)
         });
         match result {
-            Err(_) => false,
+            Err(rejected) => Err(rejected.data),
             Ok(victim) => {
                 self.counts.l2_line_writes += 1;
                 if let Some((vline, vmeta)) = victim {
                     self.spawn_l2_eviction(tile, vline, vmeta, now);
                 }
-                true
+                Ok(())
             }
         }
     }
@@ -154,9 +166,19 @@ impl Simulator {
         match vmeta.entry.back_invalidation_plan() {
             None => {
                 if vmeta.dirty {
+                    // Handle transfer: the victim's resident slot rides the
+                    // write-back message to the memory controller.
                     let ctrl_tile = self.dram.tile_of(self.dram.ctrl_for_line(vline));
-                    let data = self.slab.alloc(vmeta.data);
-                    self.send(home, ctrl_tile, vline, Payload::DramWriteBack { data }, now);
+                    self.send(
+                        home,
+                        ctrl_tile,
+                        vline,
+                        Payload::DramWriteBack { data: vmeta.data },
+                        now,
+                    );
+                } else {
+                    // Clean eviction: drop the L2's reference, nothing else.
+                    self.slab.release(vmeta.data);
                 }
             }
             Some(plan) => {
@@ -268,9 +290,9 @@ impl Simulator {
         back: bool,
         now: Cycle,
     ) {
-        // Release the payload slot exactly once, whatever the line's
-        // transaction state; `Some` means the invalidated copy was dirty.
-        let data = data.map(|r| self.slab.release(r));
+        // `Some` means the invalidated copy was dirty: its handle is
+        // adopted as the new resident data (the old resident handle is
+        // released), so the line content never moves by value.
         match self.tiles[tile].txn_mut(line) {
             Some(HomeTxn::Request(txn)) => {
                 debug_assert_eq!(txn.phase, Phase::AwaitAcks, "unexpected inv-ack");
@@ -285,8 +307,9 @@ impl Simulator {
                     self.protocol.demotions += 1;
                 }
                 if let Some(d) = data {
-                    l2line.data = d;
+                    let old = std::mem::replace(&mut l2line.data, d);
                     l2line.dirty = true;
+                    self.slab.release(old);
                     self.counts.l2_line_writes += 1;
                 }
                 if done {
@@ -301,15 +324,23 @@ impl Simulator {
                 self.evict_histogram.record(util);
                 et.entry.sharer_response(from, util, RemovalReason::BackInvalidation);
                 if let Some(d) = data {
-                    et.data = d;
+                    let old = std::mem::replace(&mut et.data, d);
                     et.dirty = true;
+                    self.slab.release(old);
                 }
                 et.awaiting.note_response(from);
                 if et.awaiting.done() {
                     self.finish_l2_eviction(tile, line, now);
                 }
             }
-            None => debug_assert!(false, "inv-ack for idle line {line}"),
+            None => {
+                debug_assert!(false, "inv-ack for idle line {line}");
+                // Unreachable in a correct run; consume the handle anyway
+                // so a release build cannot leak the slot.
+                if let Some(d) = data {
+                    self.slab.release(d);
+                }
+            }
         }
     }
 
@@ -320,8 +351,9 @@ impl Simulator {
         if et.dirty {
             let home = CoreId::new(tile);
             let ctrl_tile = self.dram.tile_of(self.dram.ctrl_for_line(line));
-            let data = self.slab.alloc(et.data);
-            self.send(home, ctrl_tile, line, Payload::DramWriteBack { data }, now);
+            self.send(home, ctrl_tile, line, Payload::DramWriteBack { data: et.data }, now);
+        } else {
+            self.slab.release(et.data);
         }
         self.drain_waiter(tile, line, now);
     }
@@ -335,9 +367,8 @@ impl Simulator {
         data: Option<DataRef>,
         now: Cycle,
     ) {
-        // As with inv-acks: consume the payload slot first, uncondition-
-        // ally; `Some` means the evicted copy was dirty.
-        let data = data.map(|r| self.slab.release(r));
+        // As with inv-acks: a dirty notify's handle is adopted as the new
+        // resident data and the old resident handle released.
         self.protocol.evictions += 1;
         self.evict_histogram.record(util);
         match self.tiles[tile].txn_mut(line) {
@@ -350,8 +381,9 @@ impl Simulator {
                     self.protocol.demotions += 1;
                 }
                 if let Some(d) = data {
-                    l2line.data = d;
+                    let old = std::mem::replace(&mut l2line.data, d);
                     l2line.dirty = true;
+                    self.slab.release(old);
                     self.counts.l2_line_writes += 1;
                 }
                 if counted && done {
@@ -365,8 +397,9 @@ impl Simulator {
             Some(HomeTxn::Evict(et)) => {
                 et.entry.sharer_response(from, util, RemovalReason::Eviction);
                 if let Some(d) = data {
-                    et.data = d;
+                    let old = std::mem::replace(&mut et.data, d);
                     et.dirty = true;
+                    self.slab.release(old);
                 }
                 et.awaiting.note_response(from);
                 if et.awaiting.done() {
@@ -378,6 +411,9 @@ impl Simulator {
                 // bookkeeping on the resident line.
                 let Some(l2line) = self.tiles[tile].l2.peek_mut(line) else {
                     debug_assert!(false, "evict notify for non-resident {line}");
+                    if let Some(d) = data {
+                        self.slab.release(d);
+                    }
                     return;
                 };
                 let mode = l2line.entry.sharer_response(from, util, RemovalReason::Eviction);
@@ -385,8 +421,9 @@ impl Simulator {
                     self.protocol.demotions += 1;
                 }
                 if let Some(d) = data {
-                    l2line.data = d;
+                    let old = std::mem::replace(&mut l2line.data, d);
                     l2line.dirty = true;
+                    self.slab.release(old);
                     self.counts.l2_line_writes += 1;
                 }
                 self.counts.dir_updates += 1;
@@ -405,7 +442,6 @@ impl Simulator {
         response: Option<Option<DataRef>>,
         now: Cycle,
     ) {
-        let response = response.map(|data| data.map(|r| self.slab.release(r)));
         {
             let Some(HomeTxn::Request(txn)) = self.tiles[tile].txn_mut(line) else {
                 unreachable!("write-back response without transaction");
@@ -417,8 +453,9 @@ impl Simulator {
                 Some(data) => {
                     l2line.entry.owner_downgraded(owner);
                     if let Some(d) = data {
-                        l2line.data = d;
+                        let old = std::mem::replace(&mut l2line.data, d);
                         l2line.dirty = true;
+                        self.slab.release(old);
                         self.counts.l2_line_writes += 1;
                     }
                 }
@@ -455,7 +492,9 @@ impl Simulator {
                         Grant::LineExclusive => MesiState::Exclusive,
                         _ => MesiState::Modified,
                     };
-                    let data = self.slab.alloc(l2line.data);
+                    // Alias the resident slot: the grant ships a second
+                    // handle to the same 64 bytes instead of a copy.
+                    let data = self.slab.retain(l2line.data);
                     Payload::GrantLine { mesi, data, ann }
                 }
                 Grant::Upgrade => {
@@ -469,7 +508,7 @@ impl Simulator {
                     self.counts.dir_updates += 1;
                     self.protocol.word_reads += 1;
                     l2line.entry.complete_grant(txn.requester, decision.grant);
-                    let value = l2line.data.word(txn.word);
+                    let value = self.slab.get(l2line.data).word(txn.word);
                     self.monitor.on_read(txn.requester, line, txn.word, value);
                     Payload::WordReadReply { value, ann }
                 }
@@ -477,7 +516,10 @@ impl Simulator {
                     self.counts.l2_word_writes += 1;
                     self.counts.dir_updates += 1;
                     self.protocol.word_writes += 1;
-                    l2line.data.set_word(txn.word, txn.value);
+                    // The resident slot may be aliased by outstanding S
+                    // copies; copy-on-write keeps their view intact.
+                    l2line.data = self.slab.make_mut(l2line.data);
+                    self.slab.get_mut(l2line.data).set_word(txn.word, txn.value);
                     l2line.dirty = true;
                     l2line.entry.complete_grant(txn.requester, decision.grant);
                     self.monitor.on_write(txn.requester, line, txn.word, txn.value);
@@ -493,5 +535,73 @@ impl Simulator {
         if let Some((msg, arrival)) = self.tiles[tile].waiters.pop(line) {
             self.start_home_txn(tile, msg, arrival, now);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{default_instr_base, Workload};
+    use lacc_cache::LineData;
+    use lacc_model::SystemConfig;
+
+    fn idle_sim() -> Simulator {
+        let w = Workload {
+            name: "retry-path".into(),
+            traces: vec![],
+            regions: vec![],
+            instr_lines: 0,
+            instr_base: default_instr_base(),
+        };
+        Simulator::new(SystemConfig::small_for_tests(4), w).expect("valid config")
+    }
+
+    /// Satellite regression: a refused `install_l2_line` must hand the
+    /// incoming `DataRef` back untouched — no slab traffic at all on the
+    /// retry path (the old code round-tripped the payload through a
+    /// 64-byte `get` copy per retry).
+    #[test]
+    fn refused_install_returns_the_handle_with_zero_copies() {
+        let mut sim = idle_sim();
+        let num_sets = sim.tiles[0].l2.num_sets() as u64;
+        let assoc = sim.cfg.l2.associativity as u64;
+        // Fill one L2 set and mark every resident way protocol-busy, so
+        // the install filter refuses them all as victims.
+        for i in 0..assoc {
+            let resident = LineAddr::new(i * num_sets);
+            let data = sim.slab.alloc(LineData::zeroed());
+            sim.install_l2_line(0, resident, data, 0).expect("set not yet full");
+            sim.tiles[0].txns.insert(resident, 0);
+        }
+        let incoming = LineAddr::new(assoc * num_sets); // same set, absent
+        let data = sim.slab.alloc(LineData::from_words([42; 8]));
+        let before = sim.slab.stats();
+
+        let back = sim.install_l2_line(0, incoming, data, 1).expect_err("every way busy");
+
+        assert_eq!(back, data, "the very same handle comes back for the retry");
+        assert_eq!(
+            sim.slab.stats(),
+            before,
+            "zero slab traffic on refusal: no copies, retains or releases"
+        );
+        assert_eq!(sim.slab.get(back).word(0), 42, "payload bytes untouched");
+
+        // Once a way frees up, the retry lands that same handle as the
+        // resident line (transfer), evicting the freed way cleanly.
+        let freed = LineAddr::new(0);
+        sim.tiles[0].txns.remove(&freed);
+        let mid = sim.slab.stats();
+        sim.install_l2_line(0, incoming, back, 2).expect("retry succeeds");
+        assert!(sim.tiles[0].l2.contains(incoming));
+        assert_eq!(
+            sim.tiles[0].l2.get(incoming).map(|l| l.data),
+            Some(back),
+            "install is a handle transfer, not a copy"
+        );
+        let after = sim.slab.stats();
+        assert_eq!(after.allocs, mid.allocs, "no new slots on the successful retry");
+        assert_eq!(after.bytes_copied, mid.bytes_copied, "no bytes moved on the retry");
+        assert_eq!(after.frees, mid.frees + 1, "the clean victim's slot was released");
     }
 }

@@ -36,8 +36,14 @@ impl Simulator {
             self.cores[tile].miss_class.record_removal(line, reason);
             self.counts.l1d_fills += u64::from(v.dirty); // dirty read-out
 
-            // A clean ack is a bare header: no slab slot is allocated.
-            let data = if v.dirty { Some(self.slab.alloc(v.data)) } else { None };
+            // A dirty copy's handle rides the ack to the home; a clean
+            // copy's reference is simply dropped (bare-header ack).
+            let data = if v.dirty {
+                Some(v.data)
+            } else {
+                self.slab.release(v.data);
+                None
+            };
             self.send(
                 CoreId::new(tile),
                 home,
@@ -64,9 +70,11 @@ impl Simulator {
         let payload = match resp {
             // On the wire WbData always carries the line (9 flits); in
             // memory only a dirty copy materializes a payload — a clean
-            // one matches the home's resident data.
+            // one matches the home's resident data. The L1 keeps its copy
+            // in S, so the shipped handle is a retain (alias) of the
+            // resident slot, not a move.
             Some((dirty, data)) => {
-                Payload::WbData { data: if dirty { Some(self.slab.alloc(data)) } else { None } }
+                Payload::WbData { data: if dirty { Some(self.slab.retain(data)) } else { None } }
             }
             None => Payload::WbNack,
         };

@@ -130,11 +130,15 @@ pub struct Simulator {
     pub(crate) monitor: CoherenceMonitor,
     pub(crate) counts: EnergyCounts,
     pub(crate) energy_params: EnergyParams,
-    /// Slab backing every in-flight data payload *and* the DRAM backing
-    /// store: `backing` maps a line to its resident slab slot, and every
-    /// data-bearing `Payload` in the event queue holds a transient slot.
-    /// Invariant (checked at end of run): `slab.live() == backing.len()`
-    /// once the queue drains — anything more is a leaked message payload.
+    /// The single home of every line's bytes: resident L1/L2 lines, the
+    /// DRAM backing store (`backing` maps a line to its slab handle) and
+    /// every data-bearing `Payload` in the event queue all hold refcounted
+    /// handles into this slab — grants and DRAM fills alias slots instead
+    /// of copying them, writes split shared slots copy-on-write. Invariant
+    /// (checked at end of run): once the queue drains, the outstanding
+    /// handle count `slab.total_refs()` equals resident L1 + L2 lines +
+    /// backing entries — anything more is a leaked handle, anything less a
+    /// double release (caught earlier by the slab's generation check).
     pub(crate) slab: DataSlab,
     pub(crate) backing: LineMap<DataRef>,
     pub(crate) cores: Vec<CoreState>,
@@ -282,17 +286,49 @@ impl Simulator {
             "deadlock: cores {stuck:?} never finished (blocked states: {:?})",
             stuck.iter().map(|&c| self.cores[c].blocked).collect::<Vec<_>>()
         );
-        // Data-plane leak checks. With the event queue drained, the only
-        // legitimate slab residents are the DRAM backing store's lines:
-        // every message payload must have been released on delivery, and
-        // every home transaction retired. A mismatch is a handle-lifetime
-        // bug, and it fails loudly here rather than skewing a later run.
+        if std::env::var_os("LACC_SIM_STATS").is_some_and(|v| v == "1") {
+            let s = self.slab.stats();
+            eprintln!(
+                "[lacc-sim-stats] workload={} slab: allocs={} retains={} releases={} frees={} \
+                 cow_clones={} bytes_copied={} bytes_aliased={} live={} total_refs={}",
+                self.workload_name,
+                s.allocs,
+                s.retains,
+                s.releases,
+                s.frees,
+                s.cow_clones,
+                s.bytes_copied,
+                s.bytes_aliased,
+                self.slab.live(),
+                self.slab.total_refs(),
+            );
+        }
+        // Data-plane refcount audit. With the event queue drained, the
+        // only legitimate handle owners are the resident L1/L2 lines and
+        // the DRAM backing store: every message payload must have been
+        // consumed on delivery and every home transaction retired. The
+        // outstanding handle count must match the owners exactly — more is
+        // a leaked handle, fewer is an unaccounted owner (a double release
+        // panics inside the slab long before this). `live()` can be
+        // smaller than the owner count (aliased slots), never larger.
+        let resident_lines: usize =
+            self.tiles.iter().map(|t| t.l1i.len() + t.l1d.len() + t.l2.len()).sum();
+        let expected = resident_lines + self.backing.len();
         assert_eq!(
-            self.slab.live(),
-            self.backing.len(),
-            "data-slab leak: {} live lines but only {} backing-store entries",
-            self.slab.live(),
+            self.slab.total_refs(),
+            expected,
+            "data-slab handle leak: {} outstanding handles but {} owners \
+             ({} resident L1/L2 lines + {} backing-store entries)",
+            self.slab.total_refs(),
+            expected,
+            resident_lines,
             self.backing.len()
+        );
+        assert!(
+            self.slab.live() <= expected,
+            "data-slab leak: {} live slots exceed {} handle owners",
+            self.slab.live(),
+            expected
         );
         for (t, tile) in self.tiles.iter().enumerate() {
             assert_eq!(
@@ -375,13 +411,13 @@ impl Simulator {
                 let ctrl = self.dram.ctrl_for_line(msg.line);
                 debug_assert_eq!(self.dram.tile_of(ctrl), msg.dst);
                 let done = self.dram.access(ctrl, self.cfg.line_bytes, now);
-                // The backing store keeps its resident slot; the reply gets
-                // a transient copy the home releases on install.
+                // The reply aliases the backing store's resident slot (a
+                // retain, not a copy); a never-written line starts as a
+                // fresh zeroed slot.
                 let data = match self.backing.get(&msg.line) {
-                    Some(&r) => *self.slab.get(r),
-                    None => LineData::zeroed(),
+                    Some(&r) => self.slab.retain(r),
+                    None => self.slab.alloc(LineData::zeroed()),
                 };
-                let data = self.slab.alloc(data);
                 self.send(msg.dst, msg.src, msg.line, Payload::DramData { data }, done);
             }
             Payload::DramData { data } => self.home_dram_data(msg.dst.index(), msg.line, data, now),
@@ -391,7 +427,7 @@ impl Simulator {
                 // Handle transfer: the message's slot *becomes* the backing
                 // entry — no copy, no release/realloc pair.
                 if let Some(old) = self.backing.insert(msg.line, data) {
-                    let _ = self.slab.release(old);
+                    self.slab.release(old);
                 }
             }
         }
@@ -425,6 +461,7 @@ impl Simulator {
             protocol: self.protocol,
             instructions: self.cores.iter().map(|c| c.instructions).sum(),
             monitor: self.monitor.report().clone(),
+            slab: self.slab.stats(),
         }
     }
 }

@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use lacc_cache::{LineData, SetAssocCache};
+use lacc_cache::{DataRef, SetAssocCache};
 use lacc_core::classifier::RequestHints;
 use lacc_core::home::{AccessKind, DirectoryEntry, HomeDecision};
 use lacc_core::l1::L1Cache;
@@ -85,10 +85,14 @@ impl CoreState {
 // Home side
 // ---------------------------------------------------------------------------
 
-/// An L2-resident line: data, dirtiness, and its directory entry.
+/// An L2-resident line: data handle, dirtiness, and its directory entry.
+///
+/// The L2 owns one slab reference per resident line; shared grants alias
+/// it ([`DataSlab::retain`](lacc_cache::DataSlab::retain)) rather than
+/// copying the 64 bytes, and eviction transfers or releases it.
 pub(crate) struct L2Line {
     pub dirty: bool,
-    pub data: LineData,
+    pub data: DataRef,
     pub entry: DirectoryEntry,
 }
 
@@ -236,10 +240,12 @@ pub(crate) struct RequestTxn {
     pub awaiting: Awaiting,
 }
 
-/// An L2 eviction collecting back-invalidation acks.
+/// An L2 eviction collecting back-invalidation acks. Holds the evicted
+/// line's data handle until the acks resolve its fate (DRAM write-back
+/// transfer when dirty, release when clean).
 pub(crate) struct EvictTxn {
     pub entry: DirectoryEntry,
-    pub data: LineData,
+    pub data: DataRef,
     pub dirty: bool,
     pub awaiting: Awaiting,
 }

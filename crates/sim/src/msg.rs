@@ -13,10 +13,14 @@
 //! no payload at all (`data: None`). [`Payload::flits`] derives from the
 //! same structure, so a message can never claim one size on the wire and
 //! occupy another in memory. The handle-lifetime rule is
-//! allocate-on-send, release-on-delivery: whoever constructs a
-//! data-bearing payload allocates the slot, the delivery handler releases
-//! it exactly once, and the end-of-run leak check in `Simulator::run`
-//! catches any violation.
+//! retain-on-send, consume-on-delivery: the sender puts one live handle
+//! into the payload (usually a [`DataSlab::retain`] alias of its resident
+//! line, or an outright transfer of a handle it owned), and the delivery
+//! handler consumes it exactly once — by installing it as a resident
+//! line, adopting it as the new L2/backing data, or releasing it. The
+//! end-of-run refcount audit in `Simulator::run` catches any violation;
+//! DESIGN.md §6.2 tabulates who retains and who consumes per message
+//! type.
 
 use lacc_cache::DataRef;
 use lacc_core::classifier::RequestHints;

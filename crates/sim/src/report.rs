@@ -1,5 +1,6 @@
 //! Simulation results: everything the paper's figures consume.
 
+use lacc_cache::SlabStats;
 use lacc_dram::DramStats;
 use lacc_energy::EnergyCounts;
 use lacc_model::{CompletionBreakdown, Cycle, EnergyBreakdown, MissStats, UtilizationHistogram};
@@ -67,6 +68,10 @@ pub struct SimReport {
     pub instructions: u64,
     /// Coherence-monitor outcome.
     pub monitor: MonitorReport,
+    /// Data-slab copy accounting: how often line bytes were actually
+    /// copied vs aliased on the simulator's data plane (also printed by
+    /// the `LACC_SIM_STATS=1` dump).
+    pub slab: SlabStats,
 }
 
 impl SimReport {
@@ -119,6 +124,7 @@ mod tests {
             protocol: ProtocolStats::default(),
             instructions: 0,
             monitor: MonitorReport::default(),
+            slab: SlabStats::default(),
         };
         let s = r.summary();
         assert!(s.contains("demo"));
