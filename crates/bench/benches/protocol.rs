@@ -2,7 +2,7 @@
 //! whole simulated accesses per second on representative workloads.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use lacc_bench::run_small;
+use lacc_bench::{run_small, run_small_sharded};
 use lacc_core::classifier::{RemovalReason, RequestHints};
 use lacc_core::home::{AccessKind, DirectoryEntry, HomeRequest};
 use lacc_core::DirectoryKind;
@@ -52,6 +52,20 @@ fn bench_simulated_accesses(c: &mut Criterion) {
         g.throughput(Throughput::Elements(accesses));
         g.bench_function(format!("sim_{}", bench.name().replace('.', "")), |b| {
             b.iter(|| black_box(run_small(bench, 8, 4, 0.05).completion_time));
+        });
+    }
+    // The sharded engine against its serial oracle on the same workload:
+    // shards1 tracks the serial path (it IS the serial path — shards = 1
+    // never constructs the plane), shards2 tracks the coordinator-
+    // sequenced plane plus one prefetch worker, so the pair bounds the
+    // sharding overhead over time.
+    let accesses = run_small(Benchmark::WaterSp, 8, 4, 0.05).l1d.total_accesses();
+    for shards in [1usize, 2] {
+        g.throughput(Throughput::Elements(accesses));
+        g.bench_function(format!("sim_water-sp_shards{shards}"), |b| {
+            b.iter(|| {
+                black_box(run_small_sharded(Benchmark::WaterSp, 8, 4, 0.05, shards).completion_time)
+            });
         });
     }
     g.finish();

@@ -1,10 +1,12 @@
 //! Convenience runner: regenerates every table and figure in sequence by
 //! invoking the sibling experiment binaries with the same flags.
 //!
-//! All flags are forwarded verbatim — in particular `--jobs N`, so one
-//! invocation parallelizes every sweep (`--jobs 1` reproduces the serial
-//! baseline byte-for-byte; CI diffs the two). Per-binary wall-clock goes
-//! to stderr to keep stdout deterministic across worker counts.
+//! All flags are forwarded verbatim — in particular `--jobs N` (sweep
+//! workers) and `--shards N` (threads inside each simulation), so one
+//! invocation parallelizes every sweep (`--jobs 1 --shards 1` reproduces
+//! the serial baseline byte-for-byte; CI diffs both axes). Per-binary
+//! wall-clock goes to stderr to keep stdout deterministic across worker
+//! and shard counts.
 
 use std::process::Command;
 use std::time::Instant;

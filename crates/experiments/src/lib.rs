@@ -14,6 +14,10 @@
 //! * `--bench <name>` — restrict to one benchmark (repeatable);
 //! * `--jobs <n>` — worker threads for the sweep (default: all cores;
 //!   `--jobs 1` runs serially on the calling thread);
+//! * `--shards <n>` — worker threads *inside each simulation* (default 1
+//!   = the serial engine; `0` = one per available hardware thread).
+//!   Reports are byte-identical for any shard count — the serial engine
+//!   is the oracle (DESIGN.md §7);
 //! * `--quiet` — suppress per-run progress lines;
 //! * `--no-monitor` — disable the shadow-memory coherence monitor
 //!   (large calibration sweeps; drops its per-access checking cost).
@@ -46,7 +50,9 @@ use lacc_workloads::Benchmark;
 ///
 /// let cli = Cli::default();
 /// assert_eq!((cli.scale, cli.cores, cli.jobs), (1.0, 64, 0)); // 0 = auto
+/// assert_eq!(cli.shards, 1); // serial engine unless asked
 /// assert!(cli.sim_options().monitor);
+/// assert_eq!(cli.sim_options().shards, 1);
 /// assert_eq!(cli.benchmarks().len(), 21); // the full Table-2 suite
 /// ```
 #[derive(Clone, Debug)]
@@ -60,6 +66,10 @@ pub struct Cli {
     /// Worker threads for [`run_jobs`]: `0` = one per available hardware
     /// thread, `1` = serial on the calling thread.
     pub jobs: usize,
+    /// Shards *within* each simulation (`SimOptions::shards`): `1` =
+    /// the serial engine, `0` = one shard per available hardware thread.
+    /// Any value produces byte-identical reports.
+    pub shards: usize,
     /// Suppress progress output.
     pub quiet: bool,
     /// Disable the coherence monitor (calibration sweeps).
@@ -68,7 +78,15 @@ pub struct Cli {
 
 impl Default for Cli {
     fn default() -> Self {
-        Cli { scale: 1.0, cores: 64, benches: Vec::new(), jobs: 0, quiet: false, no_monitor: false }
+        Cli {
+            scale: 1.0,
+            cores: 64,
+            benches: Vec::new(),
+            jobs: 0,
+            shards: 1,
+            quiet: false,
+            no_monitor: false,
+        }
     }
 }
 
@@ -104,11 +122,15 @@ impl Cli {
                     i += 1;
                     cli.jobs = args[i].parse().expect("--jobs takes an integer (0 = auto)");
                 }
+                "--shards" => {
+                    i += 1;
+                    cli.shards = args[i].parse().expect("--shards takes an integer (0 = auto)");
+                }
                 "--quiet" => cli.quiet = true,
                 "--no-monitor" => cli.no_monitor = true,
                 other => panic!(
                     "unknown flag '{other}' \
-                     (try --scale/--cores/--bench/--jobs/--quiet/--no-monitor)"
+                     (try --scale/--cores/--bench/--jobs/--shards/--quiet/--no-monitor)"
                 ),
             }
             i += 1;
@@ -132,10 +154,17 @@ impl Cli {
         config_for_cores(self.cores)
     }
 
-    /// The run-time simulator options these flags select.
+    /// The run-time simulator options these flags select. `--shards 0`
+    /// resolves to one shard per available hardware thread here (the
+    /// simulator itself clamps to the tile count).
     #[must_use]
     pub fn sim_options(&self) -> SimOptions {
-        SimOptions { monitor: !self.no_monitor, ..SimOptions::default() }
+        let shards = if self.shards == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.shards
+        };
+        SimOptions { monitor: !self.no_monitor, shards, ..SimOptions::default() }
     }
 
     /// Runs a sweep with this invocation's scale, verbosity, simulator
@@ -375,6 +404,53 @@ pub fn run_jobs_hinted(
     workers: usize,
     cost_hint: Option<&[u64]>,
 ) -> SweepResults {
+    // `LACC_SIM_STATS=1` asks for the data-plane ledger of every run.
+    // The simulator no longer prints it itself (worker threads racing on
+    // stderr tore lines mid-write); the aggregator emits one intact line
+    // per job, in submission order, from `SimReport::slab`.
+    let stats_enabled = std::env::var("LACC_SIM_STATS").as_deref() == Ok("1");
+    let mut stderr_sink = |line: &str| eprintln!("{line}");
+    run_jobs_core(
+        jobs,
+        scale,
+        quiet,
+        opts,
+        workers,
+        cost_hint,
+        if stats_enabled { Some(&mut stderr_sink) } else { None },
+    )
+}
+
+/// [`run_jobs`] with an explicit sink receiving each job's
+/// `[lacc-sim-stats]` ledger line (one intact line per job, in
+/// submission order, regardless of `--jobs`/`--shards`). The
+/// `LACC_SIM_STATS` environment variable is ignored on this path — the
+/// sink *is* the opt-in — which keeps tests hermetic.
+///
+/// # Panics
+///
+/// As [`run_jobs`].
+#[must_use]
+pub fn run_jobs_with_stats_sink(
+    jobs: Vec<(String, Benchmark, SystemConfig)>,
+    scale: f64,
+    quiet: bool,
+    opts: SimOptions,
+    workers: usize,
+    sink: &mut dyn FnMut(&str),
+) -> SweepResults {
+    run_jobs_core(jobs, scale, quiet, opts, workers, None, Some(sink))
+}
+
+fn run_jobs_core(
+    jobs: Vec<(String, Benchmark, SystemConfig)>,
+    scale: f64,
+    quiet: bool,
+    opts: SimOptions,
+    workers: usize,
+    cost_hint: Option<&[u64]>,
+    mut stats_sink: Option<&mut dyn FnMut(&str)>,
+) -> SweepResults {
     let n = jobs.len();
     if let Some(costs) = cost_hint {
         assert_eq!(costs.len(), n, "one cost hint per job");
@@ -410,7 +486,7 @@ pub fn run_jobs_hinted(
         // sum either way — so jobs run in submission order.
         for (slot, (label, bench, cfg)) in slots.iter_mut().zip(&jobs) {
             let res = run_caught(*bench, cfg, scale, opts);
-            progress(quiet, label, &res);
+            progress(quiet, label, &res, &mut stats_sink);
             *slot = Some(res);
         }
     } else {
@@ -445,7 +521,7 @@ pub fn run_jobs_hinted(
                 slots[i] = Some(res);
                 while reported < n {
                     match &slots[reported] {
-                        Some(res) => progress(quiet, &jobs[reported].0, res),
+                        Some(res) => progress(quiet, &jobs[reported].0, res, &mut stats_sink),
                         None => break,
                     }
                     reported += 1;
@@ -493,11 +569,24 @@ fn run_caught(
     })
 }
 
-fn progress(quiet: bool, label: &str, res: &Result<SimReport, String>) {
+/// Emits the progress line and (when a stats sink is installed) the
+/// `[lacc-sim-stats]` ledger line for one completed job. Only ever called
+/// from the aggregating thread, for the contiguous completed prefix of
+/// the submission order — that single-threaded choke point is what makes
+/// both streams tear-free and deterministic under any worker count.
+fn progress(
+    quiet: bool,
+    label: &str,
+    res: &Result<SimReport, String>,
+    stats_sink: &mut Option<&mut dyn FnMut(&str)>,
+) {
     if !quiet {
         if let Ok(report) = res {
             eprintln!("  [{label:>12}] {}", report.summary());
         }
+    }
+    if let (Some(sink), Ok(report)) = (stats_sink.as_mut(), res) {
+        sink(&report.sim_stats_line());
     }
 }
 

@@ -31,11 +31,11 @@ impl Simulator {
             }
             let op = match self.cores[ci].replay.take() {
                 Some(op) => op,
-                None => match self.cores[ci].trace.as_mut().and_then(|t| t.next_op()) {
+                None => match self.cores[ci].trace.next_op() {
                     Some(op) => op,
                     None => {
                         self.cores[ci].finished = true;
-                        self.cores[ci].trace = None;
+                        self.cores[ci].trace = super::state::TraceFeed::Done;
                         return;
                     }
                 },

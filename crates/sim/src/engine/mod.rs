@@ -35,6 +35,7 @@ pub mod queue;
 mod core_side;
 mod home_side;
 mod l1_side;
+mod shard;
 mod state;
 
 use lacc_cache::{DataRef, DataSlab, LineData, SetAssocCache};
@@ -55,7 +56,8 @@ use crate::sync::SyncManager;
 use crate::trace::{TraceSource, Workload};
 
 use queue::CalendarQueue;
-use state::{CoreState, TileState, TxnArena, Waiters};
+use shard::{FeedHandle, FeedShared, ShardPlane, ShutdownGuard};
+use state::{CoreState, TileState, TraceFeed, TxnArena, Waiters};
 
 pub(crate) const INSTR_PER_LINE: u64 = 8; // 64-byte line / 8-byte instruction
 pub(crate) const INSTALL_RETRY_CYCLES: Cycle = 32;
@@ -73,6 +75,19 @@ pub(crate) enum Event {
     Deliver(Message),
     /// The home's L2 tag/data access for a queued transaction completes.
     HomeLookup { tile: usize, line: LineAddr },
+}
+
+impl Event {
+    /// The tile an event executes at — the sharded plane's partition
+    /// key. Every event mutates state rooted at exactly one tile (a
+    /// core's step, a message's destination, a home lookup's slice).
+    pub(crate) fn owner_tile(&self) -> usize {
+        match self {
+            Event::CoreStep(c) => *c,
+            Event::Deliver(m) => m.dst.index(),
+            Event::HomeLookup { tile, .. } => *tile,
+        }
+    }
 }
 
 // Every queued occurrence moves one `Event` through the calendar queue,
@@ -97,7 +112,8 @@ const _: () = {
 ///
 /// let opts = SimOptions::default();
 /// assert!(opts.monitor && opts.panic_on_violation);
-/// let sweep = SimOptions { monitor: false, ..SimOptions::default() };
+/// assert_eq!(opts.shards, 1); // serial engine
+/// let sweep = SimOptions { monitor: false, shards: 4, ..SimOptions::default() };
 /// assert!(!sweep.monitor);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -108,11 +124,47 @@ pub struct SimOptions {
     /// Panic on the first coherence violation (tests) instead of counting
     /// violations into the report. Irrelevant when `monitor` is off.
     pub panic_on_violation: bool,
+    /// Shards for the intra-simulation event plane (`--shards N`):
+    /// tiles partition into `shards` contiguous blocks, each with its
+    /// own calendar queue and a trace-prefetch worker thread, exchanging
+    /// cross-shard events through window FIFOs. `1` (or `0`) is the
+    /// serial engine, untouched; any value is clamped to the number of
+    /// tiles. Every shard count produces **byte-identical** reports —
+    /// the serial engine is the oracle (see DESIGN.md §7).
+    pub shards: usize,
 }
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { monitor: true, panic_on_violation: true }
+        SimOptions { monitor: true, panic_on_violation: true, shards: 1 }
+    }
+}
+
+/// The event queue behind [`Simulator::schedule`]: the single serial
+/// calendar queue, or the sharded plane (`SimOptions::shards > 1`).
+/// Both yield the identical global `(cycle, push order)` total order —
+/// the dispatch is one predictable branch per event.
+#[derive(Debug)]
+pub(crate) enum EventPlane {
+    Serial(CalendarQueue<Event>),
+    Sharded(Box<ShardPlane>),
+}
+
+impl EventPlane {
+    #[inline]
+    fn push(&mut self, at: Cycle, ev: Event) {
+        match self {
+            EventPlane::Serial(q) => q.push(at, ev),
+            EventPlane::Sharded(p) => p.push(at, ev),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(Cycle, Event)> {
+        match self {
+            EventPlane::Serial(q) => q.pop(),
+            EventPlane::Sharded(p) => p.pop(),
+        }
     }
 }
 
@@ -143,7 +195,7 @@ pub struct Simulator {
     pub(crate) backing: LineMap<DataRef>,
     pub(crate) cores: Vec<CoreState>,
     pub(crate) tiles: Vec<TileState>,
-    pub(crate) events: CalendarQueue<Event>,
+    pub(crate) events: EventPlane,
     pub(crate) inval_histogram: UtilizationHistogram,
     pub(crate) evict_histogram: UtilizationHistogram,
     pub(crate) protocol: ProtocolStats,
@@ -221,6 +273,17 @@ impl Simulator {
 
         let cores = traces.into_iter().map(CoreState::new).collect::<Vec<_>>();
 
+        // `--shards 1` (or 0) is the serial engine, untouched; N > 1
+        // selects the sharded plane with the conservative lookahead set
+        // to the minimum cross-tile network latency (one mesh hop).
+        let shards = options.shards.clamp(1, cfg.num_cores);
+        let events = if shards > 1 {
+            let lookahead = cfg.hop_router_cycles + cfg.hop_link_cycles;
+            EventPlane::Sharded(Box::new(ShardPlane::new(cfg.num_cores, shards, lookahead)))
+        } else {
+            EventPlane::Serial(CalendarQueue::new())
+        };
+
         let tiles = (0..cfg.num_cores)
             .map(|i| TileState {
                 l1i: L1Cache::new(&cfg.l1i, cfg.line_bytes, CoreId::new(i)),
@@ -250,7 +313,7 @@ impl Simulator {
             backing: LineMap::default(),
             cores,
             tiles,
-            events: CalendarQueue::new(),
+            events,
             inval_histogram: UtilizationHistogram::new(),
             evict_histogram: UtilizationHistogram::new(),
             protocol: ProtocolStats::default(),
@@ -267,11 +330,26 @@ impl Simulator {
 
     /// Runs to completion and produces the report.
     ///
+    /// With `SimOptions::shards > 1` the run executes on the sharded
+    /// event plane with one trace-prefetch worker thread per shard; the
+    /// report is byte-identical to the serial engine's either way.
+    ///
     /// # Panics
     ///
     /// Panics if the system deadlocks (an event-queue drain while cores are
     /// still blocked) — this is a protocol-bug detector, not a user error.
+    /// Under shards, a panic on either side of a trace feed (a shard
+    /// worker or this coordinator) shuts the other side down instead of
+    /// hanging it, and the original message still propagates.
     pub fn run(mut self) -> SimReport {
+        match self.events {
+            EventPlane::Serial(_) => self.event_loop(),
+            EventPlane::Sharded(_) => self.run_sharded(),
+        }
+        self.finish()
+    }
+
+    fn event_loop(&mut self) {
         while let Some((now, ev)) = self.events.pop() {
             match ev {
                 Event::CoreStep(c) => self.step_core(c, now),
@@ -279,6 +357,75 @@ impl Simulator {
                 Event::HomeLookup { tile, line } => self.home_lookup(tile, line, now),
             }
         }
+    }
+
+    /// The sharded run: hand each shard's trace sources to a prefetch
+    /// worker, wire the cores to blocking feed handles, and drive the
+    /// event plane on this thread. The shutdown guards make the thread
+    /// scope join on every exit path, panicking ones included.
+    ///
+    /// On a single-CPU host the workers cannot run concurrently with
+    /// the coordinator, so the feed machinery is pure overhead (measured
+    /// ~10 percentage points on top of the event plane's own cost —
+    /// docs/EXPERIMENTS.md): the run then uses the plane without
+    /// threads, which changes nothing observable (the report is
+    /// byte-identical either way — that is the plane's whole contract).
+    /// `LACC_SHARD_PREFETCH=1`/`=0` forces the choice; the containment
+    /// tests use it to exercise the worker panic paths on any host.
+    fn run_sharded(&mut self) {
+        let prefetch = match std::env::var("LACC_SHARD_PREFETCH").as_deref() {
+            Ok("0") => false,
+            Ok("1") => true,
+            _ => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) > 1,
+        };
+        if !prefetch {
+            self.event_loop();
+            return;
+        }
+        let EventPlane::Sharded(plane) = &self.events else { unreachable!("checked by run") };
+        let nshards = plane.num_shards();
+        let mut shard_cores: Vec<Vec<usize>> = vec![Vec::new(); nshards];
+        for c in 0..self.cores.len() {
+            if matches!(self.cores[c].trace, TraceFeed::Local(_)) {
+                shard_cores[plane.shard_of_tile(c)].push(c);
+            }
+        }
+        // One entry per populated shard: the shared feed plus the trace
+        // sources its worker thread will pump into it.
+        type ShardFeed = (std::sync::Arc<FeedShared>, Vec<Box<dyn TraceSource>>);
+        let mut workers: Vec<ShardFeed> = Vec::new();
+        for (s, cores) in shard_cores.iter().enumerate() {
+            if cores.is_empty() {
+                continue;
+            }
+            let feed = FeedShared::new(cores.len());
+            let mut sources = Vec::with_capacity(cores.len());
+            for (slot, &c) in cores.iter().enumerate() {
+                let prev = std::mem::replace(
+                    &mut self.cores[c].trace,
+                    TraceFeed::Ring(FeedHandle::new(feed.clone(), slot, s)),
+                );
+                let TraceFeed::Local(src) = prev else { unreachable!("selected Local above") };
+                sources.push(src);
+            }
+            workers.push((feed, sources));
+        }
+        std::thread::scope(|scope| {
+            // Guards drop at scope-closure exit — normal or unwinding —
+            // flagging shutdown and waking parked workers, so the scope
+            // always joins and a coordinator panic (e.g. the deadlock
+            // assert below) propagates instead of hanging the barrier.
+            let _guards: Vec<ShutdownGuard> =
+                workers.iter().map(|(feed, _)| ShutdownGuard::new(feed.clone())).collect();
+            for (feed, sources) in workers.drain(..) {
+                scope.spawn(move || shard::run_feed_worker(&feed, sources));
+            }
+            self.event_loop();
+        });
+    }
+
+    /// Post-drain checks and report construction.
+    fn finish(self) -> SimReport {
         let stuck: Vec<usize> =
             (0..self.cores.len()).filter(|&c| !self.cores[c].finished).collect();
         assert!(
@@ -286,23 +433,6 @@ impl Simulator {
             "deadlock: cores {stuck:?} never finished (blocked states: {:?})",
             stuck.iter().map(|&c| self.cores[c].blocked).collect::<Vec<_>>()
         );
-        if std::env::var_os("LACC_SIM_STATS").is_some_and(|v| v == "1") {
-            let s = self.slab.stats();
-            eprintln!(
-                "[lacc-sim-stats] workload={} slab: allocs={} retains={} releases={} frees={} \
-                 cow_clones={} bytes_copied={} bytes_aliased={} live={} total_refs={}",
-                self.workload_name,
-                s.allocs,
-                s.retains,
-                s.releases,
-                s.frees,
-                s.cow_clones,
-                s.bytes_copied,
-                s.bytes_aliased,
-                self.slab.live(),
-                self.slab.total_refs(),
-            );
-        }
         // Data-plane refcount audit. With the event queue drained, the
         // only legitimate handle owners are the resident L1/L2 lines and
         // the DRAM backing store: every message payload must have been

@@ -34,7 +34,13 @@ use lacc_model::Cycle;
 /// Near-wheel width in cycles. Must be a power of two. Covers every
 /// common latency (hop ≈ 2, L2 ≈ 7–9, DRAM ≈ 100, install retry = 32)
 /// so the far map is touched only under heavy contention backlogs.
-const WINDOW: usize = 512;
+///
+/// Public so tests can pin the horizon boundary: a push landing at
+/// exactly `cur + WINDOW` is the first cycle *outside* the wheel and
+/// must route to the far map — `near[at % WINDOW]` is the bucket
+/// currently serving cycle `cur`, and aliasing into it would deliver
+/// the event a full window early.
+pub const WINDOW: usize = 512;
 
 /// A monotonic-time priority queue of `(Cycle, T)` preserving insertion
 /// order among equal cycles. See the module docs for the design.
@@ -102,9 +108,47 @@ impl<T> CalendarQueue<T> {
         }
     }
 
-    /// Removes and returns the earliest event as `(cycle, item)`; equal
-    /// cycles pop in push order.
-    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+    /// Pushes `item` at `at` only when the append provably lands in
+    /// order *within its cycle*: `at` must sit in the near window at or
+    /// ahead of the cursor, and the slot's current tail (same cycle by
+    /// the one-cycle-per-slot invariant) must satisfy `after`, i.e. sort
+    /// before the new item. Returns the item back otherwise — the
+    /// sharded plane then routes it through its inbound heap, which
+    /// orders explicitly. The far map is never consulted: every far
+    /// bucket below `cur + WINDOW` migrates before any cursor move, so
+    /// a near-range cycle cannot also have a pending far batch.
+    pub fn push_if_ordered(
+        &mut self,
+        at: Cycle,
+        item: T,
+        after: impl FnOnce(&T) -> bool,
+    ) -> Result<(), T> {
+        if at < self.cur || at - self.cur >= WINDOW as Cycle {
+            return Err(item);
+        }
+        let slot = &mut self.near[at as usize % WINDOW];
+        if let Some(tail) = slot.back() {
+            if !after(tail) {
+                return Err(item);
+            }
+        }
+        slot.push_back(item);
+        self.near_len += 1;
+        Ok(())
+    }
+
+    /// The scan cursor: the cycle the queue is currently serving. No
+    /// queued event is earlier, and [`CalendarQueue::peek`] advances it
+    /// to the head event's cycle. The sharded event plane uses this to
+    /// decide whether a push can still enter this queue in order.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.cur
+    }
+
+    /// Advances the cursor (migrating far buckets) to the earliest
+    /// queued event's cycle; `None` when empty.
+    fn advance(&mut self) -> Option<Cycle> {
         loop {
             // Migrate far buckets that entered the near window. A wheel
             // slot a far bucket lands in is necessarily empty: its
@@ -129,13 +173,83 @@ impl<T> CalendarQueue<T> {
                 self.cur = self.far_min;
                 continue;
             }
-            let slot = &mut self.near[self.cur as usize % WINDOW];
-            if let Some(item) = slot.pop_front() {
-                self.near_len -= 1;
-                return Some((self.cur, item));
+            if !self.near[self.cur as usize % WINDOW].is_empty() {
+                return Some(self.cur);
             }
             self.cur += 1;
         }
+    }
+
+    /// The earliest event as `(cycle, &item)` without removing it; the
+    /// cursor advances to its cycle (pure navigation — the pop order is
+    /// unaffected).
+    pub fn peek(&mut self) -> Option<(Cycle, &T)> {
+        let at = self.advance()?;
+        let item = self.near[at as usize % WINDOW].front().expect("advance found a head");
+        Some((at, item))
+    }
+
+    /// Like [`CalendarQueue::peek`], but bounded: returns the head only
+    /// if its cycle is `<= limit`, and never advances the cursor past
+    /// `limit + 1`. The sharded event plane races several queues toward
+    /// the global minimum with this — an unbounded peek would park a
+    /// queue's cursor at its own (possibly far-future) head, which then
+    /// rejects pushes behind it that the global order still permits.
+    pub fn peek_until(&mut self, limit: Cycle) -> Option<(Cycle, &T)> {
+        let at = self.advance_until(limit)?;
+        let item = self.near[at as usize % WINDOW].front().expect("advance found a head");
+        Some((at, item))
+    }
+
+    /// [`CalendarQueue::advance`] bounded by `limit`: if no event exists
+    /// at a cycle `<= limit`, the cursor parks at `limit + 1` and `None`
+    /// is returned.
+    fn advance_until(&mut self, limit: Cycle) -> Option<Cycle> {
+        loop {
+            while self.far_min < self.cur + WINDOW as Cycle {
+                let (at, batch) = self.far.pop_first().expect("far_min tracks a live key");
+                self.far_len -= batch.len();
+                self.near_len += batch.len();
+                let slot = &mut self.near[at as usize % WINDOW];
+                debug_assert!(slot.is_empty(), "far bucket migrating into an occupied slot");
+                slot.extend(batch);
+                self.far_min = self.far.keys().next().copied().unwrap_or(Cycle::MAX);
+            }
+            if self.near_len == 0 {
+                if self.far_min <= limit {
+                    // The earliest event is far but within the bound:
+                    // jump to it (migration happens next iteration).
+                    self.cur = self.far_min;
+                    continue;
+                }
+                if self.cur <= limit {
+                    // Park at limit + 1 — but re-enter the loop so the
+                    // migration sweep runs at the new cursor first. A
+                    // far bucket left below `cur + WINDOW` would let a
+                    // later near push at the same cycle slot in ahead
+                    // of it, inverting the within-cycle seq order.
+                    self.cur = limit + 1;
+                    continue;
+                }
+                return None;
+            }
+            if self.cur > limit {
+                return None;
+            }
+            if !self.near[self.cur as usize % WINDOW].is_empty() {
+                return Some(self.cur);
+            }
+            self.cur += 1;
+        }
+    }
+
+    /// Removes and returns the earliest event as `(cycle, item)`; equal
+    /// cycles pop in push order.
+    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+        let at = self.advance()?;
+        let item = self.near[at as usize % WINDOW].pop_front().expect("advance found a head");
+        self.near_len -= 1;
+        Some((at, item))
     }
 }
 
@@ -188,6 +302,44 @@ mod tests {
         q.push(11, 3);
         assert_eq!(q.pop(), Some((10, 2)));
         assert_eq!(q.pop(), Some((11, 3)));
+    }
+
+    /// The horizon boundary: a push at exactly `cur + WINDOW` is the
+    /// first cycle outside the wheel. `near[at % WINDOW]` is the bucket
+    /// serving cycle `cur` itself, so aliasing into it would pop the
+    /// event a full window early — it must route far.
+    #[test]
+    fn push_at_exactly_cur_plus_window_routes_far() {
+        let mut q = CalendarQueue::new();
+        q.push(100, "tick");
+        assert_eq!(q.pop(), Some((100, "tick"))); // cur = 100
+        let edge = 100 + WINDOW as Cycle;
+        q.push(edge - 1, "inside"); // last wheel cycle
+        q.push(edge, "edge"); // first far cycle
+        q.push(edge + 1, "outside");
+        assert_eq!(q.far_len, 2, "cur + WINDOW and beyond must go to the far map");
+        assert_eq!(q.near_len, 1, "cur + WINDOW - 1 still fits the wheel");
+        assert_eq!(q.pop(), Some((edge - 1, "inside")));
+        assert_eq!(q.pop(), Some((edge, "edge")));
+        assert_eq!(q.pop(), Some((edge + 1, "outside")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_is_pure_navigation() {
+        let mut q = CalendarQueue::new();
+        assert_eq!(q.peek(), None);
+        q.push(7, "a");
+        q.push(7, "b");
+        q.push(WINDOW as Cycle + 9, "far");
+        assert_eq!(q.peek(), Some((7, &"a")));
+        assert_eq!(q.now(), 7, "peek advances the cursor to the head");
+        assert_eq!(q.peek(), Some((7, &"a")), "peek does not consume");
+        assert_eq!(q.pop(), Some((7, "a")));
+        assert_eq!(q.pop(), Some((7, "b")));
+        assert_eq!(q.peek(), Some((WINDOW as Cycle + 9, &"far")));
+        assert_eq!(q.pop(), Some((WINDOW as Cycle + 9, "far")));
+        assert_eq!(q.len(), 0);
     }
 
     #[test]

@@ -1,0 +1,750 @@
+//! The sharded event plane: tile partitioning, per-shard calendar
+//! queues, cross-shard FIFOs drained at cycle-window barriers, and the
+//! per-shard trace-prefetch workers.
+//!
+//! `--shards N` partitions the tiles into `N` contiguous blocks. Each
+//! shard runs its own [`CalendarQueue`] for same-shard events; an event
+//! scheduled from one shard onto a tile of another crosses through a
+//! bounded FIFO that is drained only at window barriers. The
+//! conservative lookahead is the minimum cross-tile network latency
+//! (one mesh hop): a message injected at cycle `t` can never arrive at
+//! another tile before `t + lookahead`, so within a window
+//! `[start, start + lookahead)` no shard can receive a *network* event
+//! it cannot already see. The one exception in this engine is
+//! synchronization releases, which resume cores on other tiles at the
+//! *same* cycle (`SyncManager` wakes waiters with zero network
+//! latency); those take a direct sub-window path into the destination
+//! shard's inbound heap and are counted in [`ShardStats::direct`].
+//!
+//! ## Byte-exactness contract
+//!
+//! The plane replays the **exact global `(cycle, push sequence)` order**
+//! of the serial engine: every push is stamped with a global sequence
+//! number, and `pop` takes the minimum `(cycle, seq)` across all shard
+//! heads, draining the FIFOs before any pop may cross the current
+//! window horizon. Several timing models in this engine are
+//! order-sensitive global state — mesh link contention
+//! (`link_next_free` advances in injection order), `DataSlab`
+//! copy-on-write accounting (a `make_mut` decision reads the live
+//! refcount), the coherence monitor's shadow memory, and the zero-cycle
+//! sync releases above — so a free-running shard execution cannot be
+//! byte-identical to the serial oracle. The plane therefore keeps event
+//! *execution* sequenced on the coordinator thread and puts real
+//! parallelism where it is provably order-insensitive: trace decode.
+//! Each shard gets a prefetch worker that owns its cores'
+//! [`TraceSource`] streams (pure, `Send`, no simulator state) and
+//! decodes them into bounded per-core feeds ahead of the coordinator.
+//! DESIGN.md §7 documents the model and the follow-up path to
+//! order-insensitive timing state.
+//!
+//! ## Failure containment
+//!
+//! A panic on either side of a feed cannot hang the other. Worker
+//! bodies run under `catch_unwind`: a panicking trace source poisons
+//! the feed (storing its message) and wakes the coordinator, whose next
+//! pull re-raises it as a panic naming the shard. A panicking
+//! coordinator (e.g. the deadlock assert in `Simulator::run`) drops a
+//! [`ShutdownGuard`] during unwind, which sets the shutdown flag and
+//! wakes every parked worker so the thread scope joins cleanly and the
+//! original panic — with its job label, under `run_jobs` — propagates.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use lacc_model::Cycle;
+
+use crate::trace::{TraceOp, TraceSource};
+
+use super::queue::CalendarQueue;
+use super::Event;
+
+/// Ops buffered ahead per core by a prefetch worker.
+const FEED_CAPACITY: usize = 256;
+/// Ops decoded per lock acquisition (decode happens outside the lock).
+const FEED_BATCH: usize = 64;
+/// Queue length at which a consumer pop wakes the prefetch worker: the
+/// largest length with room for a whole batch. Notifications are
+/// edge-triggered on crossing this mark — a notify per pop is a futex
+/// syscall per op, which crushes single-CPU hosts — and pops shrink the
+/// queue one op at a time, so the crossing cannot be skipped.
+const REFILL_MARK: usize = FEED_CAPACITY - FEED_BATCH;
+
+/// Tile → shard map: `shards` contiguous, balanced blocks. Contiguous
+/// blocks keep a tile's nearest mesh neighbours (and therefore most of
+/// its traffic) in-shard.
+pub(crate) fn partition(num_tiles: usize, shards: usize) -> Vec<u16> {
+    debug_assert!(shards >= 1 && shards <= num_tiles);
+    (0..num_tiles).map(|t| (t * shards / num_tiles) as u16).collect()
+}
+
+/// A stamped event: the global `(cycle, seq)` key plus its payload.
+/// Ordering ignores the payload (events are not comparable).
+#[derive(Debug)]
+struct Stamped {
+    at: Cycle,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for Stamped {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Stamped {}
+impl PartialOrd for Stamped {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Stamped {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A sequence-stamped entry in a shard's local calendar queue.
+#[derive(Debug)]
+struct SeqEv {
+    seq: u64,
+    ev: Event,
+}
+
+/// Counters describing how the plane moved events (not part of
+/// [`SimReport`](crate::SimReport) — the report must stay byte-identical
+/// to the serial oracle at any shard count).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub(crate) struct ShardStats {
+    /// Cross-shard events routed through a window FIFO.
+    pub crossings: u64,
+    /// Window barriers at which the FIFOs drained.
+    pub windows: u64,
+    /// Sub-window cross-shard deliveries (the sync-release valve).
+    pub direct: u64,
+}
+
+/// The sharded event plane. Drop-in replacement for the engine's single
+/// `CalendarQueue<Event>`: `push`/`pop` reproduce the serial
+/// `(cycle, push order)` total order exactly.
+#[derive(Debug)]
+pub(crate) struct ShardPlane {
+    /// Tile → shard.
+    shard_of: Vec<u16>,
+    nshards: usize,
+    /// Per-shard calendar queue for in-shard events.
+    locals: Vec<CalendarQueue<SeqEv>>,
+    /// Per-shard inbound heap: drained FIFO batches, sub-window direct
+    /// deliveries, and in-shard events landing behind the local queue's
+    /// cursor (a shard woken by an inbound event schedules follow-ups
+    /// earlier than its parked calendar head).
+    inbound: Vec<BinaryHeap<Reverse<Stamped>>>,
+    /// Cross-shard FIFOs, indexed `src * nshards + dst`.
+    fifos: Vec<VecDeque<Stamped>>,
+    fifo_len: usize,
+    /// Global push counter — the serial tie-break, replayed exactly.
+    seq: u64,
+    /// Conservative lookahead: minimum cross-tile network latency.
+    lookahead: Cycle,
+    /// Events before this cycle are all visible (no FIFO can hide one).
+    window_end: Cycle,
+    /// Shard of the event currently being executed (`None` during
+    /// setup, where pushes are in-shard by definition).
+    cur_shard: Option<usize>,
+    /// Scratch buffer for the head race (one flag per shard).
+    race_resolved: Vec<bool>,
+    /// Self-check oracle (`LACC_SHARD_SHADOW=1`): mirrors every push in
+    /// a reference heap and asserts each pop is the exact global
+    /// `(cycle, seq)` minimum — the plane's contract, checked in-run
+    /// rather than post-hoc through report bytes. Off (None) it costs
+    /// one branch per push/pop.
+    shadow: Option<BinaryHeap<Reverse<(Cycle, u64)>>>,
+    pub stats: ShardStats,
+}
+
+impl ShardPlane {
+    pub fn new(num_tiles: usize, shards: usize, lookahead: Cycle) -> Self {
+        let shards = shards.clamp(1, num_tiles);
+        ShardPlane {
+            shard_of: partition(num_tiles, shards),
+            nshards: shards,
+            locals: (0..shards).map(|_| CalendarQueue::new()).collect(),
+            inbound: (0..shards).map(|_| BinaryHeap::new()).collect(),
+            fifos: (0..shards * shards).map(|_| VecDeque::new()).collect(),
+            fifo_len: 0,
+            seq: 0,
+            lookahead: lookahead.max(1),
+            window_end: 0,
+            cur_shard: None,
+            race_resolved: vec![false; shards],
+            shadow: (std::env::var("LACC_SHARD_SHADOW").as_deref() == Ok("1"))
+                .then(BinaryHeap::new),
+            stats: ShardStats::default(),
+        }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.nshards
+    }
+
+    pub fn shard_of_tile(&self, tile: usize) -> usize {
+        usize::from(self.shard_of[tile])
+    }
+
+    pub fn push(&mut self, at: Cycle, ev: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        if let Some(sh) = self.shadow.as_mut() {
+            sh.push(Reverse((at, seq)));
+        }
+        let dst = self.shard_of_tile(ev.owner_tile());
+        match self.cur_shard {
+            Some(src) if src != dst => {
+                if at < self.window_end {
+                    // A cross-shard delivery inside the current window:
+                    // only zero-latency sync releases get here (network
+                    // hops are >= lookahead by construction). It must
+                    // stay visible — hiding it in a FIFO would let the
+                    // destination shard run past it.
+                    self.stats.direct += 1;
+                    self.inbound[dst].push(Reverse(Stamped { at, seq, ev }));
+                } else {
+                    self.stats.crossings += 1;
+                    self.fifos[src * self.nshards + dst].push_back(Stamped { at, seq, ev });
+                    self.fifo_len += 1;
+                }
+            }
+            _ => {
+                // In-shard (or setup). The local calendar's cursor may
+                // have been peeked ahead to its parked head; an event
+                // landing behind it goes to the inbound heap, which
+                // orders by the same global (cycle, seq) key.
+                if at < self.locals[dst].now() {
+                    self.inbound[dst].push(Reverse(Stamped { at, seq, ev }));
+                } else {
+                    self.locals[dst].push(at, SeqEv { seq, ev });
+                }
+            }
+        }
+    }
+
+    /// The earliest visible `(cycle, seq)` key and where it lives.
+    ///
+    /// Inbound heads are exact and free to read. The local calendars are
+    /// *raced*: repeatedly bound-peek the queue with the lowest cursor,
+    /// limited by the next-lowest cursor and the best candidate so far.
+    /// The bound is what keeps every cursor at or below the global
+    /// now + 1 — an unbounded peek would park a cursor at its own
+    /// (possibly far-future) head, diverting every follow-up event
+    /// scheduled behind it into the inbound heap and turning the cheap
+    /// calendar path into heap churn.
+    fn head(&mut self) -> Option<(Cycle, u64, usize, bool)> {
+        let mut best: Option<(Cycle, u64, usize, bool)> = None;
+        for s in 0..self.nshards {
+            if let Some(Reverse(st)) = self.inbound[s].peek() {
+                if best.map_or(true, |b| (st.at, st.seq) < (b.0, b.1)) {
+                    best = Some((st.at, st.seq, s, true));
+                }
+            }
+        }
+        self.race_resolved.fill(false);
+        loop {
+            // The unresolved local with the lowest cursor still able to
+            // beat `best` (ties included: an equal-cycle local head can
+            // win on seq), plus the runner-up cursor as its bound.
+            let mut winner: Option<usize> = None;
+            let mut low = Cycle::MAX;
+            let mut second = Cycle::MAX;
+            for s in 0..self.nshards {
+                if self.race_resolved[s] || self.locals[s].is_empty() {
+                    continue;
+                }
+                let c = self.locals[s].now();
+                if best.is_some_and(|b| c > b.0) {
+                    continue;
+                }
+                if c < low {
+                    second = low;
+                    low = c;
+                    winner = Some(s);
+                } else if c < second {
+                    second = c;
+                }
+            }
+            let Some(s) = winner else { return best };
+            let limit = second.min(best.map_or(Cycle::MAX, |b| b.0));
+            if let Some((at, se)) = self.locals[s].peek_until(limit) {
+                if best.map_or(true, |b| (at, se.seq) < (b.0, b.1)) {
+                    best = Some((at, se.seq, s, false));
+                }
+                self.race_resolved[s] = true;
+            }
+            // A `None` peek parked the cursor at `limit + 1`; the next
+            // iteration re-ranks, and the loop terminates because every
+            // step either resolves a shard or strictly raises a cursor
+            // toward the candidate cycle.
+        }
+    }
+
+    /// Window barrier: every FIFO drains into its destination shard's
+    /// inbound heap.
+    fn drain_fifos(&mut self) {
+        self.stats.windows += 1;
+        for idx in 0..self.fifos.len() {
+            let dst = idx % self.nshards;
+            while let Some(st) = self.fifos[idx].pop_front() {
+                self.fifo_len -= 1;
+                // Prefer the destination calendar (O(1)) over the
+                // inbound heap: safe whenever the within-cycle seq
+                // order is preserved by appending. A same-cycle tail
+                // with a later seq (an in-shard push that slipped in
+                // while this event sat in the FIFO, or another FIFO's
+                // earlier drain) falls back to the heap, whose explicit
+                // (cycle, seq) order always merges correctly.
+                let Stamped { at, seq, ev } = st;
+                match self.locals[dst].push_if_ordered(at, SeqEv { seq, ev }, |tail| tail.seq < seq)
+                {
+                    Ok(()) => {}
+                    Err(se) => {
+                        self.inbound[dst].push(Reverse(Stamped { at, seq: se.seq, ev: se.ev }));
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn pop(&mut self) -> Option<(Cycle, Event)> {
+        loop {
+            match self.head() {
+                None if self.fifo_len == 0 => return None,
+                None => {
+                    self.drain_fifos();
+                }
+                Some((at, _, _, _)) if at >= self.window_end && self.fifo_len > 0 => {
+                    // A FIFO may hide an event in [window_end, at):
+                    // barrier before crossing the horizon.
+                    self.drain_fifos();
+                }
+                Some((at, seq, s, from_inbound)) => {
+                    if at >= self.window_end {
+                        // Every FIFO is empty, so the head is exact:
+                        // open the next window at the earliest pending
+                        // cycle and pop that same head without a second
+                        // race. Invariant: window_end <= now + lookahead
+                        // at every subsequent pop inside the window, so
+                        // any network send still lands at or past
+                        // window_end and is FIFO-routable.
+                        self.window_end = at + self.lookahead;
+                    }
+                    self.cur_shard = Some(s);
+                    let ev = if from_inbound {
+                        let Reverse(st) = self.inbound[s].pop().expect("cached head");
+                        debug_assert_eq!(st.at, at);
+                        st.ev
+                    } else {
+                        let (c, se) = self.locals[s].pop().expect("cached head");
+                        debug_assert_eq!(c, at);
+                        se.ev
+                    };
+                    if let Some(sh) = self.shadow.as_mut() {
+                        let Reverse(want) = sh.pop().expect("shadow tracks pushes");
+                        assert_eq!(
+                            (at, seq),
+                            want,
+                            "plane popped out of order (shard {s}, inbound {from_inbound})"
+                        );
+                    }
+                    return Some((at, ev));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace-prefetch feeds
+// ---------------------------------------------------------------------------
+
+/// Shared state between one shard's prefetch worker (producer) and the
+/// coordinator (consumer): one bounded op queue per core of the shard.
+pub(crate) struct FeedShared {
+    state: Mutex<FeedState>,
+    /// Coordinator parks here when a queue is empty.
+    can_consume: Condvar,
+    /// Worker parks here when every queue is full (or exhausted).
+    can_fill: Condvar,
+}
+
+struct FeedState {
+    queues: Vec<VecDeque<TraceOp>>,
+    /// Source exhausted; the queue drains to its true end.
+    done: Vec<bool>,
+    /// The worker panicked; carries its panic message.
+    poisoned: Option<String>,
+    /// The coordinator is finished (or unwinding): workers must exit.
+    shutdown: bool,
+}
+
+/// Locks a feed mutex, recovering from poisoning: the `poisoned` /
+/// `shutdown` flags carry the failure semantics, so a lock poisoned by
+/// a panicking peer must not cascade (a second panic during unwind
+/// would abort the process).
+fn lock_feed(shared: &FeedShared) -> MutexGuard<'_, FeedState> {
+    shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl FeedShared {
+    pub fn new(cores: usize) -> Arc<Self> {
+        Arc::new(FeedShared {
+            state: Mutex::new(FeedState {
+                queues: (0..cores).map(|_| VecDeque::with_capacity(FEED_CAPACITY)).collect(),
+                done: vec![false; cores],
+                poisoned: None,
+                shutdown: false,
+            }),
+            can_consume: Condvar::new(),
+            can_fill: Condvar::new(),
+        })
+    }
+}
+
+/// The coordinator's end of one core's feed. Pulls ops from the shared
+/// queue a chunk at a time into a handle-local buffer, so the hot path
+/// (one op per `CoreStep`) touches no lock at all — order is unaffected
+/// since every op in the slot's queue is destined for this core anyway.
+pub(crate) struct FeedHandle {
+    shared: Arc<FeedShared>,
+    /// Locally buffered ops, consumed before the lock is taken again.
+    buffered: VecDeque<TraceOp>,
+    /// Index of this core within its shard's feed.
+    slot: usize,
+    /// Shard number, for poisoning messages.
+    shard: usize,
+}
+
+impl FeedHandle {
+    pub fn new(shared: Arc<FeedShared>, slot: usize, shard: usize) -> Self {
+        FeedHandle { shared, buffered: VecDeque::with_capacity(FEED_BATCH), slot, shard }
+    }
+
+    /// Blocking pull of the core's next op; `None` at end of trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics (naming the shard) if the prefetch worker poisoned the
+    /// feed — the worker's own panic message is included, so under
+    /// `run_jobs` the failure still surfaces labelled with its job.
+    pub fn next_op(&mut self) -> Option<TraceOp> {
+        if let Some(op) = self.buffered.pop_front() {
+            return Some(op);
+        }
+        let mut st = lock_feed(&self.shared);
+        loop {
+            if !st.queues[self.slot].is_empty() {
+                let before = st.queues[self.slot].len();
+                let take = before.min(FEED_BATCH);
+                self.buffered.extend(st.queues[self.slot].drain(..take));
+                // Edge-triggered: wake the worker only when this pull
+                // moves the queue from above the refill mark to at or
+                // below it (chunks can jump the mark, so compare both
+                // sides). The worker parks only when no live queue has
+                // batch room, and both sides test under the lock, so the
+                // wake-up cannot be lost.
+                let wake = before > REFILL_MARK
+                    && st.queues[self.slot].len() <= REFILL_MARK
+                    && !st.done[self.slot];
+                drop(st);
+                if wake {
+                    self.shared.can_fill.notify_one();
+                }
+                return self.buffered.pop_front();
+            }
+            if st.done[self.slot] {
+                return None;
+            }
+            if let Some(msg) = &st.poisoned {
+                panic!("trace prefetch worker for shard {} poisoned its feed: {msg}", self.shard);
+            }
+            st =
+                self.shared.can_consume.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+impl std::fmt::Debug for FeedHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeedHandle").field("slot", &self.slot).field("shard", &self.shard).finish()
+    }
+}
+
+/// Unwind guard the coordinator holds for each feed while shard workers
+/// run: dropping it — normally or during a panic — tells the worker to
+/// exit and wakes it, so the thread scope always joins.
+pub(crate) struct ShutdownGuard {
+    shared: Arc<FeedShared>,
+}
+
+impl ShutdownGuard {
+    pub fn new(shared: Arc<FeedShared>) -> Self {
+        ShutdownGuard { shared }
+    }
+}
+
+impl Drop for ShutdownGuard {
+    fn drop(&mut self) {
+        let mut st = lock_feed(&self.shared);
+        st.shutdown = true;
+        drop(st);
+        self.shared.can_fill.notify_all();
+        self.shared.can_consume.notify_all();
+    }
+}
+
+/// Body of one shard's prefetch worker: decode the shard's trace
+/// sources into the feed until exhausted or shut down. Never panics out
+/// (a scoped-thread panic would re-raise at scope exit and double-panic
+/// an already-unwinding coordinator): trace panics poison the feed.
+pub(crate) fn run_feed_worker(shared: &FeedShared, sources: Vec<Box<dyn TraceSource>>) {
+    let mut sources: Vec<Option<Box<dyn TraceSource>>> = sources.into_iter().map(Some).collect();
+    let result = catch_unwind(AssertUnwindSafe(|| feed_loop(shared, &mut sources)));
+    if let Err(payload) = result {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        let mut st = lock_feed(shared);
+        st.poisoned = Some(msg);
+        drop(st);
+        shared.can_consume.notify_all();
+    }
+}
+
+fn feed_loop(shared: &FeedShared, sources: &mut [Option<Box<dyn TraceSource>>]) {
+    let mut batch: Vec<TraceOp> = Vec::with_capacity(FEED_BATCH);
+    loop {
+        // Pick a core with queue space under the lock.
+        let slot = {
+            let mut st = lock_feed(shared);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if sources.iter().all(Option::is_none) {
+                    return; // every source decoded to its end
+                }
+                let pick = (0..sources.len())
+                    .find(|&i| sources[i].is_some() && st.queues[i].len() <= REFILL_MARK);
+                match pick {
+                    Some(i) => break i,
+                    // No live queue has room for a whole batch: the
+                    // coordinator is behind. Park; a pop crossing the
+                    // refill mark (or shutdown) wakes us.
+                    None => {
+                        st = shared
+                            .can_fill
+                            .wait(st)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                }
+            }
+        };
+        // Decode outside the lock — this is the parallel work.
+        let src = sources[slot].as_mut().expect("picked a live source");
+        let mut exhausted = false;
+        for _ in 0..FEED_BATCH {
+            match src.next_op() {
+                Some(op) => batch.push(op),
+                None => {
+                    exhausted = true;
+                    break;
+                }
+            }
+        }
+        let mut st = lock_feed(shared);
+        // The coordinator is single-threaded and parks only on an empty
+        // queue, so a notify is needed only when this append makes an
+        // empty queue non-empty — or flips the done flag, which a
+        // consumer parked on an exhausted-but-undrained source is
+        // waiting to observe.
+        let wake = st.queues[slot].is_empty() || exhausted;
+        st.queues[slot].extend(batch.drain(..));
+        if exhausted {
+            st.done[slot] = true;
+            sources[slot] = None;
+        }
+        drop(st);
+        if wake {
+            shared.can_consume.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::VecTrace;
+    use lacc_model::LineAddr;
+
+    fn core_step(c: usize) -> Event {
+        Event::CoreStep(c)
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_balanced() {
+        assert_eq!(partition(8, 2), vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        assert_eq!(partition(6, 4), vec![0, 0, 1, 2, 2, 3]);
+        assert_eq!(partition(4, 4), vec![0, 1, 2, 3]);
+        assert_eq!(partition(5, 1), vec![0, 0, 0, 0, 0]);
+        // Every shard owns at least one tile and blocks never interleave.
+        for (tiles, shards) in [(64, 3), (64, 7), (1024, 16), (9, 8)] {
+            let map = partition(tiles, shards);
+            assert!(map.windows(2).all(|w| w[0] <= w[1]), "contiguous blocks");
+            assert_eq!(usize::from(*map.last().unwrap()), shards - 1);
+            for s in 0..shards {
+                let n = map.iter().filter(|&&x| usize::from(x) == s).count();
+                assert!(n >= tiles / shards && n <= tiles.div_ceil(shards), "balanced: {n}");
+            }
+        }
+    }
+
+    /// The plane replays global (cycle, push-order): a scripted exchange
+    /// that exercises local queues, FIFO crossings, the window barrier
+    /// and the sub-window direct path pops in exactly serial order.
+    #[test]
+    fn plane_replays_serial_order_across_shards() {
+        let mut plane = ShardPlane::new(4, 2, 2); // tiles {0,1} | {2,3}
+        let mut serial: CalendarQueue<Event> = CalendarQueue::new();
+        // Setup: one CoreStep per tile at 0 (as with_options does).
+        for c in 0..4 {
+            plane.push(0, core_step(c));
+            serial.push(0, core_step(c));
+        }
+        // Drive both, mirroring each pop with pushes derived from it.
+        let mut script: Vec<(Cycle, Vec<(Cycle, usize)>)> = vec![
+            (0, vec![(2, 3)]), // tile 0 at 0 → cross to tile 3 at +lookahead
+            (0, vec![(1, 1)]), // tile 1 at 0 → local at 1
+            (0, vec![(0, 2)]), // tile 2 at 0 → local, same cycle
+            (0, vec![]),       // tile 3 at 0
+            (0, vec![(5, 0)]), // tile 2 again at 0 → crosses back to tile 0
+            (1, vec![(1, 2)]), // tile 1 at 1 → cross at SAME cycle (sync valve)
+            (1, vec![]),       // the direct delivery at tile 2
+            (2, vec![]),       // the FIFO crossing arrives at tile 3
+            (5, vec![]),       // tile 0's future local event
+        ];
+        script.reverse();
+        loop {
+            let (a, b) = (plane.pop(), serial.pop());
+            match (a, b) {
+                (None, None) => break,
+                (Some((pa, ea)), Some((pb, eb))) => {
+                    assert_eq!(pa, pb, "cycle diverged");
+                    assert_eq!(format!("{ea:?}"), format!("{eb:?}"), "event diverged");
+                    let (want_cycle, pushes) = script.pop().expect("script covers every pop");
+                    assert_eq!(pa, want_cycle, "script is in sync");
+                    for (at, tile) in pushes {
+                        plane.push(at, core_step(tile));
+                        serial.push(at, core_step(tile));
+                    }
+                }
+                (a, b) => panic!("planes diverged: sharded={a:?} serial={b:?}"),
+            }
+        }
+        assert!(plane.stats.crossings >= 1, "the script crossed shards via FIFO");
+        assert!(plane.stats.direct >= 1, "the script used the sub-window valve");
+        assert!(plane.stats.windows >= 1, "FIFO crossings force a barrier");
+    }
+
+    /// A feed worker decodes its sources to the end; the consumer sees
+    /// every op in order, then `None`.
+    #[test]
+    fn feed_delivers_ops_in_order_then_ends() {
+        let ops: Vec<TraceOp> = (0..1000u64)
+            .map(|i| TraceOp::Store { addr: lacc_model::Addr::new(i * 8), value: i })
+            .collect();
+        let shared = FeedShared::new(2);
+        let sources: Vec<Box<dyn TraceSource>> = vec![
+            Box::new(VecTrace::new(ops.clone())),
+            Box::new(VecTrace::new(vec![TraceOp::Compute(3)])),
+        ];
+        std::thread::scope(|s| {
+            let guard = ShutdownGuard::new(shared.clone());
+            let worker_shared = shared.clone();
+            s.spawn(move || run_feed_worker(&worker_shared, sources));
+            let mut h0 = FeedHandle::new(shared.clone(), 0, 0);
+            let mut h1 = FeedHandle::new(shared.clone(), 1, 0);
+            assert_eq!(h1.next_op(), Some(TraceOp::Compute(3)));
+            assert_eq!(h1.next_op(), None);
+            for want in &ops {
+                assert_eq!(h0.next_op().as_ref(), Some(want));
+            }
+            assert_eq!(h0.next_op(), None);
+            drop(guard);
+        });
+    }
+
+    struct PanicAfter(u32);
+    impl TraceSource for PanicAfter {
+        fn next_op(&mut self) -> Option<TraceOp> {
+            assert!(self.0 > 0, "trace source exploded");
+            self.0 -= 1;
+            Some(TraceOp::Compute(1))
+        }
+    }
+
+    /// A panicking source poisons the feed instead of hanging the
+    /// consumer (or double-panicking the scope): the consumer's next
+    /// pull re-raises with the shard and the original message.
+    #[test]
+    fn poisoned_feed_raises_at_the_consumer() {
+        let shared = FeedShared::new(1);
+        let caught = std::thread::scope(|s| {
+            let guard = ShutdownGuard::new(shared.clone());
+            let worker_shared = shared.clone();
+            s.spawn(move || {
+                run_feed_worker(&worker_shared, vec![Box::new(PanicAfter(3))]);
+            });
+            let mut h = FeedHandle::new(shared.clone(), 0, 7);
+            let caught = catch_unwind(AssertUnwindSafe(|| while h.next_op().is_some() {}))
+                .expect_err("poisoned feed must raise");
+            drop(guard);
+            caught
+        });
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("shard 7"), "names the shard: {msg}");
+        assert!(msg.contains("trace source exploded"), "carries the cause: {msg}");
+    }
+
+    /// Dropping the guard mid-stream releases a worker parked on full
+    /// queues — the scope join below would hang forever otherwise.
+    #[test]
+    fn shutdown_guard_releases_a_parked_worker() {
+        let endless = (0..100_000u64).map(|_| TraceOp::Compute(1)).collect::<Vec<_>>();
+        let shared = FeedShared::new(1);
+        std::thread::scope(|s| {
+            let guard = ShutdownGuard::new(shared.clone());
+            let worker_shared = shared.clone();
+            s.spawn(move || {
+                run_feed_worker(&worker_shared, vec![Box::new(VecTrace::new(endless))])
+            });
+            let mut h = FeedHandle::new(shared.clone(), 0, 0);
+            for _ in 0..10 {
+                assert!(h.next_op().is_some());
+            }
+            drop(guard); // coordinator "unwinds" with the trace unfinished
+        });
+        // Reaching here is the assertion: the scope joined.
+    }
+
+    #[test]
+    fn stamped_orders_by_cycle_then_seq() {
+        let mk = |at, seq| Stamped {
+            at,
+            seq,
+            ev: Event::HomeLookup { tile: 0, line: LineAddr::new(0) },
+        };
+        assert!(mk(3, 9) < mk(4, 0));
+        assert!(mk(3, 1) < mk(3, 2));
+    }
+}

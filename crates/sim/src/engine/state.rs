@@ -19,9 +19,38 @@ use lacc_model::{CompletionBreakdown, CoreId, CoreSet, Cycle, LineAddr, LineMap,
 
 use crate::trace::{TraceOp, TraceSource};
 
+use super::shard::FeedHandle;
+
 // ---------------------------------------------------------------------------
 // Core side
 // ---------------------------------------------------------------------------
+
+/// Where a core's next trace op comes from.
+///
+/// Serial runs decode the core's [`TraceSource`] inline (`Local`).
+/// Sharded runs hand the sources to per-shard prefetch workers and give
+/// each core a blocking [`FeedHandle`] into its shard's feed (`Ring`) —
+/// the op *sequence* is identical either way, which is part of the
+/// byte-exactness argument in DESIGN.md §7.
+pub(crate) enum TraceFeed {
+    /// Trace exhausted (or the core never had one).
+    Done,
+    /// Decode inline on the coordinator (serial engine).
+    Local(Box<dyn TraceSource>),
+    /// Pull from a shard prefetch worker's bounded feed.
+    Ring(FeedHandle),
+}
+
+impl TraceFeed {
+    /// The core's next op; `None` once the trace ends.
+    pub fn next_op(&mut self) -> Option<TraceOp> {
+        match self {
+            TraceFeed::Done => None,
+            TraceFeed::Local(src) => src.next_op(),
+            TraceFeed::Ring(handle) => handle.next_op(),
+        }
+    }
+}
 
 /// Why a core is not executing its trace.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -44,7 +73,7 @@ pub(crate) struct Outstanding {
 }
 
 pub(crate) struct CoreState {
-    pub trace: Option<Box<dyn TraceSource>>,
+    pub trace: TraceFeed,
     pub clock: Cycle,
     pub finished: bool,
     pub breakdown: CompletionBreakdown,
@@ -64,7 +93,7 @@ impl CoreState {
     pub fn new(trace: Option<Box<dyn TraceSource>>) -> Self {
         CoreState {
             finished: trace.is_none(),
-            trace,
+            trace: trace.map_or(TraceFeed::Done, TraceFeed::Local),
             clock: 0,
             breakdown: CompletionBreakdown::default(),
             miss_class: MissClassifier::new(),

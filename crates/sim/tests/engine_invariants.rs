@@ -15,7 +15,7 @@ use std::collections::BinaryHeap;
 use proptest::prelude::*;
 
 use lacc_model::{Addr, SystemConfig};
-use lacc_sim::engine::queue::CalendarQueue;
+use lacc_sim::engine::queue::{CalendarQueue, WINDOW};
 use lacc_sim::trace::{default_instr_base, TraceOp, VecTrace, Workload};
 use lacc_sim::Simulator;
 
@@ -60,6 +60,117 @@ proptest! {
             prop_assert_eq!(q.len(), heap.len());
         }
         // Drain what remains: total order must agree to the end.
+        while let Some(Reverse(want)) = heap.pop() {
+            prop_assert_eq!(q.pop(), Some(want));
+        }
+        prop_assert_eq!(q.pop(), None);
+    }
+
+    /// The horizon boundary, pinned: a push at exactly `now + WINDOW`
+    /// must take the far path — `near[at % WINDOW]` is the bucket
+    /// currently serving `now`, so routing it near would file the event
+    /// one full rotation early. This generator concentrates pushes on
+    /// the three delays that straddle the boundary (plus short fillers
+    /// so pops land at awkward cursor positions) and checks the total
+    /// order against the reference heap.
+    #[test]
+    fn horizon_boundary_pushes_match_binary_heap(
+        ops in proptest::collection::vec((0u8..8, proptest::bool::ANY), 1..300)
+    ) {
+        let w = WINDOW as u64;
+        let mut q: CalendarQueue<u64> = CalendarQueue::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for (pick, push) in ops {
+            if push {
+                // Mostly boundary-straddling delays, a few short ones.
+                let delay = match pick {
+                    0 | 1 => w - 1,
+                    2 | 3 => w,
+                    4 | 5 => w + 1,
+                    6 => 0,
+                    _ => 7,
+                };
+                q.push(now + delay, seq);
+                heap.push(Reverse((now + delay, seq)));
+                seq += 1;
+            } else {
+                let want = heap.pop().map(|Reverse((at, s))| (at, s));
+                let got = q.pop();
+                prop_assert_eq!(got, want);
+                if let Some((at, _)) = got {
+                    now = at;
+                }
+            }
+        }
+        while let Some(Reverse(want)) = heap.pop() {
+            prop_assert_eq!(q.pop(), Some(want));
+        }
+        prop_assert_eq!(q.pop(), None);
+    }
+
+    /// Bounded peeks are pure navigation: interleaving `peek_until`
+    /// (the sharded plane's head race) with pushes and pops must leave
+    /// the total order untouched, and each peek must report exactly the
+    /// reference heap's head when it is within the bound. The regression
+    /// this pins: a peek that parks the cursor without sweeping the far
+    /// map lets a later near-path push at the same cycle slot in ahead
+    /// of an earlier far-filed event, inverting the within-cycle seq
+    /// order.
+    #[test]
+    fn bounded_peeks_never_disturb_the_total_order(
+        ops in proptest::collection::vec((0u8..8, 0u8..4), 1..300)
+    ) {
+        let w = WINDOW as u64;
+        let mut q: CalendarQueue<u64> = CalendarQueue::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for (pick, action) in ops {
+            match action {
+                0 | 1 => {
+                    let delay = match pick {
+                        0 | 1 => w - 1,
+                        2 | 3 => w,
+                        4 | 5 => w + 1,
+                        6 => 0,
+                        _ => 7,
+                    };
+                    // The engine never schedules behind the cursor; a
+                    // parked cursor clamps the cycle like the plane's
+                    // inbound diversion would.
+                    let at = (now + delay).max(q.now());
+                    q.push(at, seq);
+                    heap.push(Reverse((at, seq)));
+                    seq += 1;
+                }
+                2 => {
+                    let want = heap.pop().map(|Reverse((at, s))| (at, s));
+                    let got = q.pop();
+                    prop_assert_eq!(got, want);
+                    if let Some((at, _)) = got {
+                        now = at;
+                    }
+                }
+                _ => {
+                    let bound = match pick {
+                        0 | 1 => 0,
+                        2 | 3 => 7,
+                        4 | 5 => w,
+                        6 => w + 1,
+                        _ => 3 * w,
+                    };
+                    let limit = now + bound;
+                    let want = heap
+                        .peek()
+                        .filter(|Reverse((at, _))| *at <= limit)
+                        .map(|Reverse((at, s))| (*at, *s));
+                    let got = q.peek_until(limit).map(|(at, &s)| (at, s));
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
         while let Some(Reverse(want)) = heap.pop() {
             prop_assert_eq!(q.pop(), Some(want));
         }

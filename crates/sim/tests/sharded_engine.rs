@@ -1,0 +1,164 @@
+//! Failure containment in the sharded engine (`SimOptions::shards > 1`).
+//!
+//! The sharded run parks trace-prefetch worker threads behind bounded
+//! feeds, so every abnormal exit has two new ways to go wrong: a
+//! coordinator panic could leave workers parked forever (a hung thread
+//! scope), and a worker panic could unwind into the scope join while the
+//! coordinator is itself unwinding (an abort). These tests pin the
+//! containment contract: the original panic message always propagates to
+//! the caller, nothing hangs, and the sweep-pool layer above can
+//! therefore name the broken job and finish the healthy ones (covered in
+//! `lacc-experiments`' `sweep_pool` tests).
+//!
+//! Byte-exactness of healthy sharded runs is covered by the repo-level
+//! `determinism` suite against the serial oracle.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use lacc_model::{Addr, SystemConfig};
+use lacc_sim::trace::{default_instr_base, TraceOp, TraceSource, VecTrace, Workload};
+use lacc_sim::{SimOptions, Simulator};
+
+fn workload_from(name: &str, traces: Vec<Box<dyn TraceSource>>) -> Workload {
+    Workload {
+        name: name.into(),
+        traces,
+        regions: vec![],
+        instr_lines: 0,
+        instr_base: default_instr_base(),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// A classic lock/barrier deadlock: core 0 takes the lock and waits at a
+/// barrier core 1 can never reach (core 1 is queued on the lock). The
+/// event queue drains with both cores blocked and the deadlock assert
+/// fires on the coordinator thread — with shards > 1 that panic must
+/// still unwind out cleanly (waking the parked prefetch workers on the
+/// way), not hang the thread scope or abort. The test *completing* is
+/// the no-hang proof.
+#[test]
+fn deadlock_assert_fires_cleanly_under_shards() {
+    // Force the prefetch workers on: this suite exists to exercise the
+    // worker shutdown paths, and the engine otherwise skips the threads
+    // on a single-CPU host.
+    std::env::set_var("LACC_SHARD_PREFETCH", "1");
+    for shards in [2usize, 4] {
+        let traces: Vec<Box<dyn TraceSource>> = vec![
+            Box::new(VecTrace::new(vec![TraceOp::Acquire { id: 1 }, TraceOp::Barrier { id: 0 }])),
+            Box::new(VecTrace::new(vec![TraceOp::Acquire { id: 1 }])),
+            Box::new(VecTrace::new(vec![TraceOp::Compute(5)])),
+            Box::new(VecTrace::new(vec![TraceOp::Compute(5)])),
+        ];
+        let w = workload_from("deadlock", traces);
+        let opts = SimOptions { shards, ..SimOptions::default() };
+        let sim = Simulator::with_options(SystemConfig::small_for_tests(4), w, opts).unwrap();
+        let payload = catch_unwind(AssertUnwindSafe(|| sim.run()))
+            .expect_err("a deadlocked workload must panic");
+        let msg = panic_message(&*payload);
+        assert!(msg.contains("deadlock"), "shards={shards}: diagnostic survives: {msg}");
+        assert!(msg.contains("[0, 1]"), "shards={shards}: names the stuck cores: {msg}");
+    }
+}
+
+struct ExplodingTrace {
+    remaining: u32,
+}
+
+impl TraceSource for ExplodingTrace {
+    fn next_op(&mut self) -> Option<TraceOp> {
+        assert!(self.remaining > 0, "synthetic trace decode failure");
+        self.remaining -= 1;
+        Some(if self.remaining % 3 == 0 {
+            TraceOp::Load { addr: Addr::new(0x4000) }
+        } else {
+            TraceOp::Compute(2)
+        })
+    }
+}
+
+/// A trace source that panics mid-run panics on a *worker* thread under
+/// shards. The worker must poison its feed (not unwind into the scope
+/// join), and the coordinator's next pull re-raises with the shard id
+/// and the original message — so the failure surfaces exactly like a
+/// serial trace panic, just relabeled.
+#[test]
+fn exploding_trace_source_is_relabeled_not_hung() {
+    std::env::set_var("LACC_SHARD_PREFETCH", "1");
+    let traces: Vec<Box<dyn TraceSource>> = vec![
+        Box::new(ExplodingTrace { remaining: 40 }),
+        Box::new(VecTrace::new(vec![TraceOp::Compute(200)])),
+        Box::new(VecTrace::new(vec![TraceOp::Compute(200)])),
+        Box::new(VecTrace::new(vec![TraceOp::Compute(200)])),
+    ];
+    let w = workload_from("exploding", traces);
+    let opts = SimOptions { shards: 2, ..SimOptions::default() };
+    let sim = Simulator::with_options(SystemConfig::small_for_tests(4), w, opts).unwrap();
+    let payload =
+        catch_unwind(AssertUnwindSafe(|| sim.run())).expect_err("the trace panic must propagate");
+    let msg = panic_message(&*payload);
+    assert!(msg.contains("poisoned its feed"), "relabeled by the feed: {msg}");
+    assert!(msg.contains("shard 0"), "names the shard (cores 0-1 are shard 0): {msg}");
+    assert!(msg.contains("synthetic trace decode failure"), "carries the cause: {msg}");
+}
+
+/// The plane's in-run self-check (`LACC_SHARD_SHADOW=1`): a reference
+/// heap mirrors every push and every pop is asserted to be the exact
+/// global `(cycle, seq)` minimum. Running a workload with contended
+/// lines, barriers and cross-shard traffic under the oracle catches
+/// ordering bugs even when they happen not to perturb the report bytes.
+#[test]
+fn shadow_oracle_accepts_a_contended_sharded_run() {
+    std::env::set_var("LACC_SHARD_SHADOW", "1");
+    let traces: Vec<Box<dyn TraceSource>> = (0..4u64)
+        .map(|c| {
+            let mut ops = vec![TraceOp::Barrier { id: 0 }];
+            for r in 0..200 {
+                ops.push(TraceOp::Store { addr: Addr::new(0x4000), value: c * 200 + r + 1 });
+                ops.push(TraceOp::Load { addr: Addr::new(0x8000 + c * 64) });
+                ops.push(TraceOp::Compute((c % 3) as u32 + 1));
+            }
+            ops.push(TraceOp::Barrier { id: 1 });
+            Box::new(VecTrace::new(ops)) as Box<dyn TraceSource>
+        })
+        .collect();
+    let w = workload_from("shadowed", traces);
+    let opts = SimOptions { shards: 2, ..SimOptions::default() };
+    Simulator::with_options(SystemConfig::small_for_tests(4), w, opts).unwrap().run();
+}
+
+/// `--shards 0` and `--shards > tiles` are forgiving: 0 means serial and
+/// oversized shard counts clamp to the tile count, both reproducing the
+/// serial report byte-for-byte.
+#[test]
+fn degenerate_shard_counts_clamp_and_match_serial() {
+    let run = |shards: usize| {
+        let traces: Vec<Box<dyn TraceSource>> = (0..4)
+            .map(|c| {
+                Box::new(VecTrace::new(vec![
+                    TraceOp::Store { addr: Addr::new(0x4000), value: c + 1 },
+                    TraceOp::Load { addr: Addr::new(0x4000 + 64 * c) },
+                    TraceOp::Barrier { id: 0 },
+                    TraceOp::Compute(10),
+                ])) as Box<dyn TraceSource>
+            })
+            .collect();
+        let w = workload_from("clamp", traces);
+        let opts = SimOptions { shards, ..SimOptions::default() };
+        format!(
+            "{:?}",
+            Simulator::with_options(SystemConfig::small_for_tests(4), w, opts).unwrap().run()
+        )
+    };
+    let oracle = run(1);
+    for shards in [0usize, 4, 64] {
+        assert_eq!(run(shards), oracle, "shards={shards}");
+    }
+}

@@ -49,6 +49,28 @@ fn scale_changes_only_length_not_validity() {
 }
 
 #[test]
+fn sharded_runs_reproduce_the_serial_oracle_for_every_suite_workload() {
+    // The sharded engine's whole contract (DESIGN.md §7): any `--shards N`
+    // must reproduce the serial engine's report byte-for-byte — including
+    // the order-sensitive slab ledger, which the full Debug fingerprint
+    // covers. Every Table-2 workload, shards ∈ {2, 4}, vs the serial
+    // oracle at shards = 1.
+    let cores = 4;
+    let scale = 0.02;
+    for b in Benchmark::ALL {
+        let run = |shards: usize| {
+            let w = b.build(cores, scale);
+            let opts = SimOptions { shards, ..SimOptions::default() };
+            Simulator::with_options(SystemConfig::small_for_tests(cores), w, opts).unwrap().run()
+        };
+        let oracle = format!("{:?}", run(1));
+        for shards in [2, 4] {
+            assert_eq!(format!("{:?}", run(shards)), oracle, "{} shards={shards}", b.name());
+        }
+    }
+}
+
+#[test]
 fn ltf_replay_is_report_identical_for_every_suite_workload() {
     // Determinism must survive the trip through the on-disk trace format:
     // for each benchmark, simulating the generator's workload and
