@@ -6,8 +6,14 @@
 //! for the format.
 //!
 //! ```text
-//! trace_dump --bench <name> [--cores N] [--scale F] [--out PATH]
+//! trace_dump --bench <name> [--cores N] [--scale F] [--out PATH] [--v2] [--stats]
 //! ```
+//!
+//! `--v2` writes the delta-compressed version-2 stream encoding (same
+//! container; `trace_replay` reads either). `--stats` additionally prints
+//! per-core stream sizes and the compression ratio against the v1
+//! encoding of the same workload (computed in memory, nothing extra is
+//! written).
 //!
 //! Default output path: `results/<benchmark>.ltf`.
 
@@ -19,6 +25,8 @@ struct Args {
     cores: usize,
     scale: f64,
     out: Option<String>,
+    v2: bool,
+    stats: bool,
 }
 
 fn parse_args() -> Args {
@@ -26,6 +34,8 @@ fn parse_args() -> Args {
     let mut cores = 64;
     let mut scale = 1.0;
     let mut out = None;
+    let mut v2 = false;
+    let mut stats = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -49,13 +59,18 @@ fn parse_args() -> Args {
                 i += 1;
                 out = Some(args[i].clone());
             }
-            other => panic!("unknown flag '{other}' (try --bench/--cores/--scale/--out)"),
+            "--v2" => v2 = true,
+            "--stats" => stats = true,
+            other => {
+                panic!("unknown flag '{other}' (try --bench/--cores/--scale/--out/--v2/--stats)")
+            }
         }
         i += 1;
     }
-    let bench =
-        bench.expect("usage: trace_dump --bench <name> [--cores N] [--scale F] [--out PATH]");
-    Args { bench, cores, scale, out }
+    let bench = bench.expect(
+        "usage: trace_dump --bench <name> [--cores N] [--scale F] [--out PATH] [--v2] [--stats]",
+    );
+    Args { bench, cores, scale, out, v2, stats }
 }
 
 fn main() {
@@ -67,17 +82,19 @@ fn main() {
         }
     }
 
-    let summary = args
-        .bench
-        .dump_ltf(args.cores, args.scale, &path)
-        .unwrap_or_else(|e| panic!("dump failed: {e}"));
+    let summary = if args.v2 {
+        args.bench.dump_ltf_v2(args.cores, args.scale, &path)
+    } else {
+        args.bench.dump_ltf(args.cores, args.scale, &path)
+    }
+    .unwrap_or_else(|e| panic!("dump failed: {e}"));
 
-    let file = std::fs::File::open(&path).expect("re-open dumped trace");
-    let header =
-        ltf::reader::read_header(&mut std::io::BufReader::new(file)).expect("dumped trace decodes");
+    let buf = ltf::SharedBuf::open(&path).expect("re-open dumped trace");
+    let (header, _) = ltf::read_header_bytes(&buf).expect("dumped trace decodes");
     println!(
-        "wrote {path}: workload '{}', {} cores, {} regions, instr footprint {} lines",
+        "wrote {path}: workload '{}' (v{}), {} cores, {} regions, instr footprint {} lines",
         header.name,
+        header.version,
         header.num_cores,
         header.regions.len(),
         header.instr_lines,
@@ -88,4 +105,24 @@ fn main() {
         summary.bytes,
         summary.bytes as f64 / summary.total_ops().max(1) as f64,
     );
+
+    if args.stats {
+        // Re-encode the same workload as v1 in memory: the ratio below is
+        // "v1 bytes / written bytes", so a v1 dump reads 1.00x and a v2
+        // dump reads its real compression factor.
+        let v1_bytes = ltf::workload_to_ltf_bytes(args.bench.build(args.cores, args.scale))
+            .expect("in-memory v1 encode")
+            .len();
+        println!("  per-core stream bytes (core: bytes, bytes/op):");
+        for (core, (&bytes, &ops)) in
+            summary.bytes_per_core.iter().zip(summary.ops_per_core.iter()).enumerate()
+        {
+            println!("    {core:3}: {bytes} B, {:.2} B/op", bytes as f64 / ops.max(1) as f64);
+        }
+        println!(
+            "  compression: {} B total vs {v1_bytes} B as v1 ({:.2}x)",
+            summary.bytes,
+            v1_bytes as f64 / summary.bytes.max(1) as f64,
+        );
+    }
 }

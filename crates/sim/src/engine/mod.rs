@@ -406,7 +406,10 @@ impl Simulator {
                     TraceFeed::Ring(FeedHandle::new(feed.clone(), slot, s)),
                 );
                 let TraceFeed::Local(src) = prev else { unreachable!("selected Local above") };
-                sources.push(src);
+                // The run has not started, so the batching wrapper's
+                // refill buffer is empty; the worker adopts it whole and
+                // keeps pulling batches through `next_ops`.
+                sources.push(Box::new(src) as Box<dyn TraceSource>);
             }
             workers.push((feed, sources));
         }

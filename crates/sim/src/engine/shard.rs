@@ -550,18 +550,12 @@ fn feed_loop(shared: &FeedShared, sources: &mut [Option<Box<dyn TraceSource>>]) 
                 }
             }
         };
-        // Decode outside the lock — this is the parallel work.
+        // Decode outside the lock — this is the parallel work. One
+        // batched pull per wakeup: sources that can (the LTF cursors)
+        // decode the whole batch without per-op dispatch, and a short
+        // batch is the `next_ops` contract for end-of-stream.
         let src = sources[slot].as_mut().expect("picked a live source");
-        let mut exhausted = false;
-        for _ in 0..FEED_BATCH {
-            match src.next_op() {
-                Some(op) => batch.push(op),
-                None => {
-                    exhausted = true;
-                    break;
-                }
-            }
-        }
+        let exhausted = src.next_ops(&mut batch, FEED_BATCH) < FEED_BATCH;
         let mut st = lock_feed(shared);
         // The coordinator is single-threaded and parks only on an empty
         // queue, so a notify is needed only when this append makes an

@@ -25,18 +25,69 @@ use super::shard::FeedHandle;
 // Core side
 // ---------------------------------------------------------------------------
 
+/// How many ops the serial engine pulls from a core's source per refill.
+/// Matches the shard feed batch: decode amortizes identically whether the
+/// trace is consumed inline or through a prefetch worker.
+const LOCAL_BATCH: usize = 64;
+
+/// A [`TraceSource`] wrapped with a small refill buffer, so the serial
+/// engine's per-op pull consumes batched decodes
+/// ([`TraceSource::next_ops`]) instead of paying a virtual call and a
+/// record decode per op. Pure pass-through semantically: the op sequence
+/// is exactly the source's.
+pub(crate) struct BatchedSource {
+    src: Box<dyn TraceSource>,
+    buf: Vec<TraceOp>,
+    pos: usize,
+}
+
+impl BatchedSource {
+    pub fn new(src: Box<dyn TraceSource>) -> Self {
+        BatchedSource { src, buf: Vec::with_capacity(LOCAL_BATCH), pos: 0 }
+    }
+}
+
+impl TraceSource for BatchedSource {
+    fn next_op(&mut self) -> Option<TraceOp> {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            if self.src.next_ops(&mut self.buf, LOCAL_BATCH) == 0 {
+                return None;
+            }
+        }
+        let op = self.buf[self.pos];
+        self.pos += 1;
+        Some(op)
+    }
+
+    fn next_ops(&mut self, out: &mut Vec<TraceOp>, max: usize) -> usize {
+        // Serve anything buffered first, then delegate the remainder as
+        // one batch — a shard feed worker adopting a `BatchedSource`
+        // never double-buffers.
+        let buffered = (self.buf.len() - self.pos).min(max);
+        out.extend_from_slice(&self.buf[self.pos..self.pos + buffered]);
+        self.pos += buffered;
+        if buffered == max {
+            return max;
+        }
+        buffered + self.src.next_ops(out, max - buffered)
+    }
+}
+
 /// Where a core's next trace op comes from.
 ///
-/// Serial runs decode the core's [`TraceSource`] inline (`Local`).
-/// Sharded runs hand the sources to per-shard prefetch workers and give
-/// each core a blocking [`FeedHandle`] into its shard's feed (`Ring`) —
-/// the op *sequence* is identical either way, which is part of the
+/// Serial runs decode the core's [`TraceSource`] inline (`Local`, with a
+/// [`BatchedSource`] refill buffer amortizing the decode). Sharded runs
+/// hand the sources to per-shard prefetch workers and give each core a
+/// blocking [`FeedHandle`] into its shard's feed (`Ring`) — the op
+/// *sequence* is identical either way, which is part of the
 /// byte-exactness argument in DESIGN.md §7.
 pub(crate) enum TraceFeed {
     /// Trace exhausted (or the core never had one).
     Done,
     /// Decode inline on the coordinator (serial engine).
-    Local(Box<dyn TraceSource>),
+    Local(BatchedSource),
     /// Pull from a shard prefetch worker's bounded feed.
     Ring(FeedHandle),
 }
@@ -93,7 +144,7 @@ impl CoreState {
     pub fn new(trace: Option<Box<dyn TraceSource>>) -> Self {
         CoreState {
             finished: trace.is_none(),
-            trace: trace.map_or(TraceFeed::Done, TraceFeed::Local),
+            trace: trace.map_or(TraceFeed::Done, |src| TraceFeed::Local(BatchedSource::new(src))),
             clock: 0,
             breakdown: CompletionBreakdown::default(),
             miss_class: MissClassifier::new(),

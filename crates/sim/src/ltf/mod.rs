@@ -9,7 +9,17 @@
 //! (the paper's Graphite methodology) and protocol-verification workflows
 //! both rely on. The full specification also lives in `docs/LTF.md`.
 //!
-//! # Format specification (version 1)
+//! Two format versions share one container. **Version 1** stores absolute
+//! addresses, one self-contained record per op. **Version 2** (module
+//! [`v2`]) delta-compresses the streams — signed-zigzag line deltas,
+//! region-relative bases, run-length compute — to less than half the
+//! bytes; the header's version field negotiates which stream encoding
+//! follows, so v1 files keep decoding forever. Readers are zero-copy:
+//! every per-core cursor decodes in place from one shared immutable
+//! buffer (module [`mmap`]; an mmap on unix), instead of 64
+//! seek-positioned file handles.
+//!
+//! # Format specification (container + version-1 ops)
 //!
 //! All multi-byte integers are **varints** (LEB128: 7 value bits per byte,
 //! high bit = continuation, little-endian groups, at most 10 bytes) except
@@ -19,7 +29,7 @@
 //! ```text
 //! file      := magic version flags name header regions offsets stream*
 //! magic     := "LACCLTF1"                      ; 8 bytes
-//! version   := varint                          ; this module writes 1
+//! version   := varint                          ; 1 or 2 (stream encoding)
 //! flags     := varint                          ; reserved, must be 0
 //! name      := varint(len) byte{len}           ; UTF-8 workload name
 //! header    := varint(num_cores)
@@ -39,6 +49,10 @@
 //!            | 0x05 varint(id)                 ; Acquire
 //!            | 0x06 varint(id)                 ; Release
 //! ```
+//!
+//! When `version` is 2 the `stream` production is replaced by the
+//! delta-compressed encoding specified in [`v2`]; everything before the
+//! streams is byte-identical.
 //!
 //! Decoding is total: every malformed input — wrong magic, unknown
 //! version, truncation anywhere (including mid-op), over-long varints,
@@ -72,18 +86,29 @@
 //! # Ok::<(), lacc_model::TraceError>(())
 //! ```
 
+pub mod mmap;
 pub mod reader;
+pub mod v2;
 pub mod varint;
 pub mod writer;
 
-pub use reader::{read_header_bytes, read_workload, read_workload_bytes, LtfHeader, LtfTrace};
-pub use writer::{workload_to_ltf_bytes, write_workload, LtfSummary};
+pub use mmap::SharedBuf;
+pub use reader::{
+    read_header_bytes, read_workload, read_workload_bytes, workload_from_shared, LtfHeader,
+    LtfTrace,
+};
+pub use writer::{
+    workload_to_ltf_bytes, workload_to_ltf_bytes_v2, write_workload, write_workload_v2, LtfSummary,
+};
 
 /// The 8-byte file magic ("LACCLTF" + format generation).
 pub const MAGIC: [u8; 8] = *b"LACCLTF1";
 
-/// The format version this module reads and writes.
+/// The original format version: absolute addresses, one record per op.
 pub const VERSION: u64 = 1;
+
+/// The delta-compressed format version (see [`v2`]).
+pub const VERSION_V2: u64 = 2;
 
 /// End-of-stream marker terminating each per-core op stream.
 pub const OP_END: u8 = 0x00;

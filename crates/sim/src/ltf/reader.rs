@@ -1,14 +1,21 @@
-//! Streaming LTF decoding.
+//! Zero-copy LTF decoding.
 //!
-//! [`read_workload`] is the replay entry point: it validates the entire
-//! file in one buffered pass (header, region table, every op of every
-//! stream), then hands back a [`Workload`] whose per-core traces are
-//! [`LtfTrace`]s — each one a `BufReader` positioned at its core's stream,
-//! decoding one op per [`next_op`](crate::TraceSource::next_op) call.
-//! Memory stays bounded by the read buffers; the file is never slurped
-//! into a `Vec`.
+//! [`read_workload`] is the replay entry point: it loads the file once
+//! into a [`SharedBuf`] (an mmap on unix, a heap read elsewhere), decodes
+//! and validates header, region table and every op of every stream in a
+//! single pass over that buffer, then hands back a [`Workload`] whose
+//! per-core traces are [`LtfTrace`]s — cheap cursors that all share the
+//! one buffer and decode in place, one op (or one batch, via
+//! [`next_ops`](crate::TraceSource::next_ops)) per call. Nothing is ever
+//! copied out of the buffer and no per-core file handles exist; with an
+//! mmap backing, untouched parts of a large trace are never even paged
+//! in.
+//!
+//! Both format versions decode here: the header's version field selects
+//! the per-stream decoder (plain v1 records or the delta-compressed
+//! [`super::v2`] encoding).
 
-use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::io::Read;
 use std::path::Path;
 
 use lacc_core::rnuca::RegionClass;
@@ -16,19 +23,19 @@ use lacc_model::{Addr, CoreId, LineAddr, TraceError};
 
 use crate::trace::{RegionDecl, TraceOp, TraceSource, Workload};
 
-use super::varint;
+use super::mmap::SharedBuf;
+use super::v2::V2Decoder;
 use super::{
-    CLASS_INSTRUCTION, CLASS_PRIVATE, CLASS_SHARED, MAGIC, MAX_CORES, MAX_NAME_LEN, MAX_REGIONS,
-    OP_ACQUIRE, OP_BARRIER, OP_COMPUTE, OP_END, OP_LOAD, OP_RELEASE, OP_STORE, VERSION,
+    varint, CLASS_INSTRUCTION, CLASS_PRIVATE, CLASS_SHARED, MAGIC, MAX_CORES, MAX_NAME_LEN,
+    MAX_REGIONS, OP_ACQUIRE, OP_BARRIER, OP_COMPUTE, OP_END, OP_LOAD, OP_RELEASE, OP_STORE,
+    VERSION, VERSION_V2,
 };
-
-/// Per-core read-buffer size for streaming replay: large enough to
-/// amortize syscalls, small enough that 64 cores stay within a few MiB.
-const STREAM_BUF_BYTES: usize = 64 * 1024;
 
 /// Everything an LTF header declares about its workload.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct LtfHeader {
+    /// Format version of the op streams (1 or 2).
+    pub version: u64,
     /// Workload name.
     pub name: String,
     /// Number of per-core op streams.
@@ -62,7 +69,9 @@ fn read_u8<R: Read + ?Sized>(r: &mut R, what: &'static str) -> Result<u8, TraceE
 }
 
 /// Decodes the header (magic through region table) from `r`, leaving the
-/// cursor at the start of the core offset table.
+/// cursor at the start of the core offset table. Accepts both format
+/// versions — the container is identical; [`LtfHeader::version`] records
+/// which stream encoding follows.
 ///
 /// # Errors
 ///
@@ -76,7 +85,7 @@ pub fn read_header<R: Read + ?Sized>(r: &mut R) -> Result<LtfHeader, TraceError>
         return Err(TraceError::BadMagic { found: magic.to_vec() });
     }
     let version = varint::read_from(r, "version")?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V2 {
         return Err(TraceError::UnsupportedVersion { found: version });
     }
     let flags = varint::read_from(r, "flags")?;
@@ -122,7 +131,7 @@ pub fn read_header<R: Read + ?Sized>(r: &mut R) -> Result<LtfHeader, TraceError>
         regions.push(RegionDecl { first_line, lines, class });
     }
 
-    Ok(LtfHeader { name, num_cores: num_cores as usize, instr_lines, instr_base, regions })
+    Ok(LtfHeader { version, name, num_cores: num_cores as usize, instr_lines, instr_base, regions })
 }
 
 /// Reads the fixed-width core offset table that follows the header.
@@ -140,7 +149,11 @@ pub fn read_offsets<R: Read + ?Sized>(r: &mut R, num_cores: usize) -> Result<Vec
     Ok(offsets)
 }
 
-/// Decodes one op record; `Ok(None)` is the end-of-stream marker.
+/// Decodes one version-1 op record from an `io::Read`; `Ok(None)` is the
+/// end-of-stream marker. Retained for incremental consumers of v1 files
+/// (and as the pre-v2 per-op decode path the `ltf` benches baseline
+/// against); the replay path itself decodes from shared buffers via
+/// [`LtfTrace`].
 ///
 /// # Errors
 ///
@@ -168,6 +181,37 @@ pub fn decode_op<R: Read + ?Sized>(r: &mut R) -> Result<Option<TraceOp>, TraceEr
     Ok(Some(op))
 }
 
+/// Decodes one version-1 op record from `bytes` at `*pos`, advancing the
+/// cursor — the slice twin of [`decode_op`].
+#[inline]
+fn decode_op_at(bytes: &[u8], pos: &mut usize) -> Result<Option<TraceOp>, TraceError> {
+    let take_u32 = |pos: &mut usize, what| -> Result<u32, TraceError> {
+        u32::try_from(varint::take(bytes, pos, what)?)
+            .map_err(|_| TraceError::Corrupt { what: "32-bit operand overflows" })
+    };
+    let opcode = match bytes.get(*pos) {
+        Some(&b) => {
+            *pos += 1;
+            b
+        }
+        None => return Err(TraceError::Truncated { what: "opcode" }),
+    };
+    let op = match opcode {
+        OP_END => return Ok(None),
+        OP_COMPUTE => TraceOp::Compute(take_u32(pos, "compute count")?),
+        OP_LOAD => TraceOp::Load { addr: Addr::new(varint::take(bytes, pos, "load address")?) },
+        OP_STORE => TraceOp::Store {
+            addr: Addr::new(varint::take(bytes, pos, "store address")?),
+            value: varint::take(bytes, pos, "store value")?,
+        },
+        OP_BARRIER => TraceOp::Barrier { id: take_u32(pos, "barrier id")? },
+        OP_ACQUIRE => TraceOp::Acquire { id: take_u32(pos, "lock id")? },
+        OP_RELEASE => TraceOp::Release { id: take_u32(pos, "lock id")? },
+        code => return Err(TraceError::BadOpCode { code }),
+    };
+    Ok(Some(op))
+}
+
 fn check_offsets(offsets: &[u64], streams_start: u64, len: u64) -> Result<(), TraceError> {
     for &offset in offsets {
         // Every stream holds at least its end marker, so a valid offset
@@ -179,48 +223,178 @@ fn check_offsets(offsets: &[u64], streams_start: u64, len: u64) -> Result<(), Tr
     Ok(())
 }
 
-/// A lazily decoded per-core trace, produced by [`read_workload`].
+/// The per-stream op decoder for whichever format version the header
+/// negotiated. v1 records are stateless; v2 carries the delta/run state.
+#[derive(Debug)]
+enum StreamDecoder {
+    V1,
+    V2(V2Decoder),
+}
+
+impl StreamDecoder {
+    fn for_header(header: &LtfHeader) -> StreamDecoder {
+        match header.version {
+            VERSION => StreamDecoder::V1,
+            _ => StreamDecoder::V2(V2Decoder::new(super::v2::base_line(&header.regions))),
+        }
+    }
+
+    #[inline]
+    fn next(&mut self, bytes: &[u8], pos: &mut usize) -> Result<Option<TraceOp>, TraceError> {
+        match self {
+            StreamDecoder::V1 => decode_op_at(bytes, pos),
+            StreamDecoder::V2(dec) => dec.next(bytes, pos),
+        }
+    }
+}
+
+/// A lazily decoded per-core trace, produced by [`read_workload`] (or
+/// [`LtfTrace::open`] for a single stream).
 ///
-/// Implements [`TraceSource`] by decoding one op per call from its own
-/// buffered file handle. The backing file was fully validated when the
-/// workload was opened, so decoding cannot fail for any input that
-/// existed at open time — malformed files are rejected by
-/// [`read_workload`] with a typed error, never here.
+/// Implements [`TraceSource`] by decoding in place from a [`SharedBuf`]
+/// all cursors of a workload share; [`next_ops`](TraceSource::next_ops)
+/// amortizes the decode across a whole batch. The backing stream was
+/// fully validated when the cursor was opened, so decoding cannot fail
+/// for any input that existed at open time — malformed files are rejected
+/// with a typed error at open, never here.
 #[derive(Debug)]
 pub struct LtfTrace {
-    reader: BufReader<std::fs::File>,
+    buf: SharedBuf,
+    start: usize,
+    base_line: u64,
+    pos: usize,
+    dec: StreamDecoder,
     finished: bool,
+}
+
+impl LtfTrace {
+    /// Opens one validated cursor over the stream starting at byte
+    /// `start` of `buf`, described by `header`: the stream is decoded to
+    /// its end marker once (catching every malformation), then the
+    /// cursor rewinds to the start.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceError`] the stream's records can produce.
+    pub fn open(buf: SharedBuf, start: usize, header: &LtfHeader) -> Result<LtfTrace, TraceError> {
+        let mut trace = LtfTrace {
+            buf,
+            start,
+            base_line: super::v2::base_line(&header.regions),
+            pos: start,
+            dec: StreamDecoder::for_header(header),
+            finished: false,
+        };
+        while trace.try_next()?.is_some() {}
+        trace.reset();
+        Ok(trace)
+    }
+
+    /// Rewinds the cursor to the start of its stream (decoder state
+    /// included), so the same validated stream can be replayed again.
+    pub fn reset(&mut self) {
+        self.pos = self.start;
+        self.finished = false;
+        self.dec = match self.dec {
+            StreamDecoder::V1 => StreamDecoder::V1,
+            StreamDecoder::V2(_) => StreamDecoder::V2(V2Decoder::new(self.base_line)),
+        };
+    }
+
+    #[inline]
+    fn try_next(&mut self) -> Result<Option<TraceOp>, TraceError> {
+        if self.finished {
+            return Ok(None);
+        }
+        match self.dec.next(&self.buf, &mut self.pos)? {
+            Some(op) => Ok(Some(op)),
+            None => {
+                self.finished = true;
+                Ok(None)
+            }
+        }
+    }
 }
 
 impl TraceSource for LtfTrace {
     /// # Panics
     ///
-    /// Panics if the already-validated backing file fails to decode —
-    /// only possible when it is truncated or rewritten *while the
-    /// simulation replays it*. Ending the stream quietly instead would
-    /// let the run complete with silently wrong statistics.
+    /// Panics if the already-validated backing buffer fails to decode —
+    /// only possible for an mmap-backed buffer whose file is truncated or
+    /// rewritten *while the simulation replays it*. Ending the stream
+    /// quietly instead would let the run complete with silently wrong
+    /// statistics.
+    #[inline]
     fn next_op(&mut self) -> Option<TraceOp> {
+        self.try_next()
+            .unwrap_or_else(|e| panic!("LTF file changed during replay (validated at open): {e}"))
+    }
+
+    /// Batched decode straight off the shared buffer; same panic
+    /// contract as [`next_op`](Self::next_op). Everything a per-op
+    /// cursor pays on every call — the buffer deref (an `Arc` chase
+    /// plus a backing-enum match), the version dispatch, and the cursor
+    /// field write-back — is hoisted out of the loop, so the loop body
+    /// is just the record decode against registers.
+    #[inline]
+    fn next_ops(&mut self, out: &mut Vec<TraceOp>, max: usize) -> usize {
         if self.finished {
-            return None;
+            return 0;
         }
-        match decode_op(&mut self.reader) {
-            Ok(Some(op)) => Some(op),
-            Ok(None) => {
-                self.finished = true;
-                None
+        let bytes: &[u8] = &self.buf;
+        let mut pos = self.pos;
+        let drained = match &mut self.dec {
+            StreamDecoder::V1 => drain_v1(bytes, &mut pos, out, max),
+            StreamDecoder::V2(dec) => dec.next_batch(bytes, &mut pos, out, max),
+        };
+        self.pos = pos;
+        match drained {
+            Ok((appended, end)) => {
+                self.finished = end;
+                appended
             }
             Err(e) => panic!("LTF file changed during replay (validated at open): {e}"),
         }
     }
 }
 
-/// Opens a `.ltf` file as a replayable [`Workload`] with streaming
-/// per-core traces.
+/// The v1 batch loop of [`TraceSource::next_ops`]; the v2 twin lives on
+/// [`V2Decoder::next_batch`] next to its delta state. Returns the number
+/// of ops appended and whether the stream's end marker was reached.
+fn drain_v1(
+    bytes: &[u8],
+    pos: &mut usize,
+    out: &mut Vec<TraceOp>,
+    max: usize,
+) -> Result<(usize, bool), TraceError> {
+    let mut p = *pos;
+    let mut appended = 0;
+    let mut end = false;
+    while appended < max {
+        match decode_op_at(bytes, &mut p)? {
+            Some(op) => {
+                out.push(op);
+                appended += 1;
+            }
+            None => {
+                end = true;
+                break;
+            }
+        }
+    }
+    *pos = p;
+    Ok((appended, end))
+}
+
+/// Opens a `.ltf` file (either format version) as a replayable
+/// [`Workload`] with zero-copy per-core traces.
 ///
-/// The whole file is validated first (one buffered sequential pass that
-/// decodes every op and discards it), so any corruption surfaces here as
-/// a typed error rather than during simulation. Each core then gets an
-/// independent buffered handle positioned at its stream.
+/// The file is loaded once into a [`SharedBuf`] — an mmap where
+/// available, a buffered read otherwise — and validated in a single pass
+/// over that buffer: header, offset table, then every op of every stream
+/// exactly once ([`LtfTrace::open`] doubles as the validator), so any
+/// corruption surfaces here as a typed error rather than during
+/// simulation. Every core's cursor shares the one buffer.
 ///
 /// # Errors
 ///
@@ -228,30 +402,21 @@ impl TraceSource for LtfTrace {
 /// truncation anywhere, over-long varints, undefined opcodes or region
 /// classes, offsets outside the file.
 pub fn read_workload<P: AsRef<Path>>(path: P) -> Result<Workload, TraceError> {
-    let path = path.as_ref();
-    let file = std::fs::File::open(path)?;
-    let len = file.metadata()?.len();
-    let mut r = BufReader::with_capacity(STREAM_BUF_BYTES, file);
+    workload_from_shared(SharedBuf::open(path)?)
+}
 
-    let header = read_header(&mut r)?;
-    let offsets = read_offsets(&mut r, header.num_cores)?;
-    let streams_start = r.stream_position()?;
-    check_offsets(&offsets, streams_start, len)?;
-
-    // Validation pass: decode every stream to its end marker.
-    for &offset in &offsets {
-        r.seek(SeekFrom::Start(offset))?;
-        while decode_op(&mut r)?.is_some() {}
-    }
-
+/// [`read_workload`] for an already-loaded buffer (in-memory encoders,
+/// benches, servers holding trace images).
+///
+/// # Errors
+///
+/// Same failure modes as [`read_workload`], minus the I/O.
+pub fn workload_from_shared(buf: SharedBuf) -> Result<Workload, TraceError> {
+    let (header, offsets) = read_header_bytes(&buf)?;
     let mut traces: Vec<Box<dyn TraceSource>> = Vec::with_capacity(header.num_cores);
     for &offset in &offsets {
-        let file = std::fs::File::open(path)?;
-        let mut reader = BufReader::with_capacity(STREAM_BUF_BYTES, file);
-        reader.seek(SeekFrom::Start(offset))?;
-        traces.push(Box::new(LtfTrace { reader, finished: false }));
+        traces.push(Box::new(LtfTrace::open(buf.clone(), offset as usize, &header)?));
     }
-
     Ok(Workload {
         name: header.name,
         traces,
@@ -274,8 +439,9 @@ pub fn read_header_bytes(bytes: &[u8]) -> Result<(LtfHeader, Vec<u64>), TraceErr
     Ok((header, offsets))
 }
 
-/// Eagerly decodes a complete in-memory LTF image: the header plus every
-/// core's ops. The workhorse of round-trip and robustness tests.
+/// Eagerly decodes a complete in-memory LTF image of either version: the
+/// header plus every core's ops. The workhorse of round-trip and
+/// robustness tests.
 ///
 /// # Errors
 ///
@@ -284,10 +450,10 @@ pub fn read_workload_bytes(bytes: &[u8]) -> Result<(LtfHeader, Vec<Vec<TraceOp>>
     let (header, offsets) = read_header_bytes(bytes)?;
     let mut cores = Vec::with_capacity(header.num_cores);
     for &offset in &offsets {
-        let mut cursor = std::io::Cursor::new(bytes);
-        cursor.set_position(offset);
+        let mut dec = StreamDecoder::for_header(&header);
+        let mut pos = offset as usize;
         let mut ops = Vec::new();
-        while let Some(op) = decode_op(&mut cursor)? {
+        while let Some(op) = dec.next(bytes, &mut pos)? {
             ops.push(op);
         }
         cores.push(ops);
@@ -298,7 +464,7 @@ pub fn read_workload_bytes(bytes: &[u8]) -> Result<(LtfHeader, Vec<Vec<TraceOp>>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ltf::workload_to_ltf_bytes;
+    use crate::ltf::{workload_to_ltf_bytes, workload_to_ltf_bytes_v2};
     use crate::trace::{default_instr_base, VecTrace};
 
     fn sample() -> Workload {
@@ -340,35 +506,76 @@ mod tests {
 
     #[test]
     fn bytes_round_trip_exactly() {
-        let bytes = workload_to_ltf_bytes(sample()).unwrap();
-        let (header, ops) = read_workload_bytes(&bytes).unwrap();
-        assert_eq!(header.name, "sample");
-        assert_eq!(header.num_cores, 2);
-        assert_eq!(header.instr_lines, 12);
-        assert_eq!(header.instr_base, default_instr_base());
-        assert_eq!(header.regions, sample().regions);
-        assert_eq!(ops[0][1], TraceOp::Store { addr: Addr::new(0x1040), value: u64::MAX });
-        assert_eq!(ops[0].len(), 3);
-        assert_eq!(ops[1].len(), 3);
+        type Encode = fn(Workload) -> Result<Vec<u8>, TraceError>;
+        for (encode, version) in [
+            (workload_to_ltf_bytes as Encode, VERSION),
+            (workload_to_ltf_bytes_v2 as Encode, VERSION_V2),
+        ] {
+            let bytes = encode(sample()).unwrap();
+            let (header, ops) = read_workload_bytes(&bytes).unwrap();
+            assert_eq!(header.version, version);
+            assert_eq!(header.name, "sample");
+            assert_eq!(header.num_cores, 2);
+            assert_eq!(header.instr_lines, 12);
+            assert_eq!(header.instr_base, default_instr_base());
+            assert_eq!(header.regions, sample().regions);
+            assert_eq!(ops[0][1], TraceOp::Store { addr: Addr::new(0x1040), value: u64::MAX });
+            assert_eq!(ops[0].len(), 3);
+            assert_eq!(ops[1].len(), 3);
+        }
     }
 
     #[test]
     fn file_round_trip_streams() {
-        let path = std::env::temp_dir().join("lacc_ltf_reader_unit.ltf");
-        sample().dump_ltf(&path).unwrap();
-        let replayed = read_workload(&path).unwrap();
-        assert_eq!(replayed.name, "sample");
-        assert_eq!(replayed.active_cores(), 2);
-        let mut core0 = replayed.traces.into_iter().next().unwrap();
-        assert_eq!(core0.next_op(), Some(TraceOp::Compute(7)));
-        assert_eq!(
-            core0.next_op(),
-            Some(TraceOp::Store { addr: Addr::new(0x1040), value: u64::MAX })
-        );
-        assert_eq!(core0.next_op(), Some(TraceOp::Load { addr: Addr::new(0x1040) }));
-        assert_eq!(core0.next_op(), None);
-        assert_eq!(core0.next_op(), None, "exhausted streams stay exhausted");
-        std::fs::remove_file(&path).ok();
+        for v2 in [false, true] {
+            let path = std::env::temp_dir().join(format!("lacc_ltf_reader_unit_{v2}.ltf"));
+            if v2 {
+                sample().dump_ltf_v2(&path).unwrap();
+            } else {
+                sample().dump_ltf(&path).unwrap();
+            }
+            let replayed = read_workload(&path).unwrap();
+            assert_eq!(replayed.name, "sample");
+            assert_eq!(replayed.active_cores(), 2);
+            let mut core0 = replayed.traces.into_iter().next().unwrap();
+            assert_eq!(core0.next_op(), Some(TraceOp::Compute(7)));
+            assert_eq!(
+                core0.next_op(),
+                Some(TraceOp::Store { addr: Addr::new(0x1040), value: u64::MAX })
+            );
+            assert_eq!(core0.next_op(), Some(TraceOp::Load { addr: Addr::new(0x1040) }));
+            assert_eq!(core0.next_op(), None);
+            assert_eq!(core0.next_op(), None, "exhausted streams stay exhausted");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn cursors_share_one_buffer_and_batch_decode() {
+        let bytes = workload_to_ltf_bytes_v2(sample()).unwrap();
+        let buf = SharedBuf::from_vec(bytes);
+        let w = workload_from_shared(buf).unwrap();
+        let mut ops = Vec::new();
+        let mut traces = w.traces;
+        assert_eq!(traces[0].next_ops(&mut ops, 100), 3, "short batch means end of stream");
+        assert_eq!(ops.len(), 3);
+        assert_eq!(traces[0].next_ops(&mut ops, 100), 0);
+        // A bounded batch leaves the rest for the next call.
+        assert_eq!(traces[1].next_ops(&mut ops, 2), 2);
+        assert_eq!(traces[1].next_ops(&mut ops, 2), 1);
+    }
+
+    #[test]
+    fn reset_replays_the_same_stream() {
+        let bytes = workload_to_ltf_bytes_v2(sample()).unwrap();
+        let (header, offsets) = read_header_bytes(&bytes).unwrap();
+        let buf = SharedBuf::from_vec(bytes);
+        let mut t = LtfTrace::open(buf, offsets[0] as usize, &header).unwrap();
+        let first: Vec<_> = std::iter::from_fn(|| t.next_op()).collect();
+        t.reset();
+        let second: Vec<_> = std::iter::from_fn(|| t.next_op()).collect();
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 3);
     }
 
     #[test]

@@ -55,6 +55,64 @@ pub fn decode(bytes: &[u8], what: &'static str) -> Result<(u64, usize), TraceErr
     Ok((value, before - cursor.len()))
 }
 
+/// Decodes one varint from `bytes` at `*pos`, advancing `*pos` past the
+/// bytes consumed — the cursor-style primitive the zero-copy stream
+/// decoders are built on. Decoding straight off the slice (with a
+/// single-byte fast path, the overwhelmingly common case in both stream
+/// encodings) is what makes the v2 cursors fast; keep this free of the
+/// `io::Read` machinery.
+///
+/// # Errors
+///
+/// Same failure modes as [`decode`].
+#[inline]
+pub fn take(bytes: &[u8], pos: &mut usize, what: &'static str) -> Result<u64, TraceError> {
+    let start = *pos;
+    // Unrolled one- and two-byte fast paths: v2 packed line deltas are
+    // almost always one or two groups, and the generic per-byte loop
+    // costs more than the decode itself. A cursor already past the end
+    // falls through to the slow path, which reports truncation.
+    if let Some(&b0) = bytes.get(start) {
+        if b0 & 0x80 == 0 {
+            *pos = start + 1;
+            return Ok(u64::from(b0));
+        }
+        if let Some(&b1) = bytes.get(start + 1) {
+            if b1 & 0x80 == 0 {
+                *pos = start + 2;
+                return Ok(u64::from(b0 & 0x7f) | u64::from(b1) << 7);
+            }
+        }
+    }
+    take_multibyte(bytes, start, pos, what)
+}
+
+fn take_multibyte(
+    bytes: &[u8],
+    start: usize,
+    pos: &mut usize,
+    what: &'static str,
+) -> Result<u64, TraceError> {
+    // Clamp a cursor already past the end so `start + i` cannot overflow.
+    let start = start.min(bytes.len());
+    let mut value: u64 = 0;
+    for i in 0..MAX_LEN {
+        let Some(&b) = bytes.get(start + i) else {
+            return Err(TraceError::Truncated { what });
+        };
+        if i == MAX_LEN - 1 && b > 0x01 {
+            // 9 groups cover 63 bits; the 10th byte may only hold bit 63.
+            return Err(TraceError::OverlongVarint { what });
+        }
+        value |= u64::from(b & 0x7f) << (7 * i);
+        if b & 0x80 == 0 {
+            *pos = start + i + 1;
+            return Ok(value);
+        }
+    }
+    Err(TraceError::OverlongVarint { what })
+}
+
 /// Reads one varint from `r`.
 ///
 /// # Errors
@@ -144,6 +202,22 @@ mod tests {
         let mut max = vec![0xff; 9];
         max.push(0x01);
         assert_eq!(decode(&max, "field").unwrap(), (u64::MAX, 10));
+    }
+
+    #[test]
+    fn take_advances_a_cursor() {
+        let mut buf = Vec::new();
+        encode(300, &mut buf);
+        encode(7, &mut buf);
+        let mut pos = 0;
+        assert_eq!(take(&buf, &mut pos, "a").unwrap(), 300);
+        assert_eq!(pos, 2);
+        assert_eq!(take(&buf, &mut pos, "b").unwrap(), 7);
+        assert_eq!(pos, buf.len());
+        assert_eq!(take(&buf, &mut pos, "c").unwrap_err(), TraceError::Truncated { what: "c" });
+        // A cursor already past the end is truncation, not a panic.
+        let mut past = buf.len() + 10;
+        assert!(take(&buf, &mut past, "d").is_err());
     }
 
     #[test]

@@ -5,6 +5,10 @@
 //! the traces are. It needs `Write + Seek` because the core offset table
 //! sits in the header but stream lengths are only known after draining:
 //! offsets are backpatched in place once the last stream is written.
+//!
+//! Both format versions share the container ([`write_workload`] emits v1,
+//! [`write_workload_v2`] the delta-compressed v2); only the per-core op
+//! encoding differs. See [`super::v2`] for the v2 stream encoding.
 
 use std::io::{Seek, SeekFrom, Write};
 use std::path::Path;
@@ -14,17 +18,21 @@ use lacc_model::TraceError;
 
 use crate::trace::{TraceOp, TraceSource, Workload};
 
-use super::varint;
+use super::v2::V2Encoder;
 use super::{
-    CLASS_INSTRUCTION, CLASS_PRIVATE, CLASS_SHARED, MAGIC, MAX_CORES, MAX_NAME_LEN, MAX_REGIONS,
-    OP_ACQUIRE, OP_BARRIER, OP_COMPUTE, OP_END, OP_LOAD, OP_RELEASE, OP_STORE, VERSION,
+    varint, CLASS_INSTRUCTION, CLASS_PRIVATE, CLASS_SHARED, MAGIC, MAX_CORES, MAX_NAME_LEN,
+    MAX_REGIONS, OP_ACQUIRE, OP_BARRIER, OP_COMPUTE, OP_END, OP_LOAD, OP_RELEASE, OP_STORE,
+    VERSION, VERSION_V2,
 };
 
-/// What a dump wrote: per-core op counts and the total encoded size.
+/// What a dump wrote: per-core op counts and the encoded sizes.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct LtfSummary {
     /// Ops serialized for each core, in core order.
     pub ops_per_core: Vec<u64>,
+    /// Encoded stream bytes for each core (op records plus the end
+    /// marker; header and offset table excluded), in core order.
+    pub bytes_per_core: Vec<u64>,
     /// Total bytes of the encoded file.
     pub bytes: u64,
 }
@@ -86,22 +94,33 @@ fn encode_op(op: TraceOp, buf: &mut Vec<u8>) {
     }
 }
 
-/// Serializes `workload` to `out`, draining every trace source.
-///
-/// The stream is written front to back; the core offset table is
-/// backpatched at the end, after which the cursor is restored to
-/// end-of-stream so callers can append (nothing in version 1 does).
-///
-/// # Errors
-///
-/// [`TraceError::Io`] on any write or seek failure;
-/// [`TraceError::Corrupt`] when the workload exceeds a decoder limit
-/// (name over [`MAX_NAME_LEN`] bytes, more than [`MAX_CORES`] traces or
-/// [`MAX_REGIONS`] regions) — the encoder refuses to produce a file the
-/// reader would reject.
-pub fn write_workload<W: Write + Seek>(
+/// The per-stream op encoder for whichever format version is being
+/// written. v1 records are stateless; v2 carries the delta/run state.
+enum StreamEncoder {
+    V1,
+    V2(V2Encoder),
+}
+
+impl StreamEncoder {
+    fn push(&mut self, op: TraceOp, buf: &mut Vec<u8>) {
+        match self {
+            StreamEncoder::V1 => encode_op(op, buf),
+            StreamEncoder::V2(enc) => enc.push(op, buf),
+        }
+    }
+
+    fn finish(&mut self, buf: &mut Vec<u8>) {
+        match self {
+            StreamEncoder::V1 => {}
+            StreamEncoder::V2(enc) => enc.finish(buf),
+        }
+    }
+}
+
+fn write_workload_impl<W: Write + Seek>(
     out: &mut W,
     workload: Workload,
+    version: u64,
 ) -> Result<LtfSummary, TraceError> {
     if workload.name.len() as u64 > MAX_NAME_LEN {
         return Err(TraceError::Corrupt { what: "name length exceeds limit" });
@@ -116,7 +135,7 @@ pub fn write_workload<W: Write + Seek>(
     let mut w = CountingWriter { inner: out, written: 0 };
 
     w.put(&MAGIC)?;
-    w.put_varint(VERSION)?;
+    w.put_varint(version)?;
     w.put_varint(0)?; // flags, reserved
     w.put_varint(workload.name.len() as u64)?;
     w.put(workload.name.as_bytes())?;
@@ -142,20 +161,31 @@ pub fn write_workload<W: Write + Seek>(
     let table_at = start + w.written;
     w.put(&vec![0u8; workload.traces.len() * 8])?;
 
+    let base_line = super::v2::base_line(&workload.regions);
     let mut offsets = Vec::with_capacity(workload.traces.len());
     let mut ops_per_core = Vec::with_capacity(workload.traces.len());
+    let mut bytes_per_core = Vec::with_capacity(workload.traces.len());
     let mut buf = Vec::with_capacity(256);
     for mut trace in workload.traces {
         offsets.push(start + w.written);
+        let stream_start = w.written;
+        let mut enc = match version {
+            VERSION => StreamEncoder::V1,
+            _ => StreamEncoder::V2(V2Encoder::new(base_line)),
+        };
         let mut count = 0u64;
         while let Some(op) = trace.next_op() {
             buf.clear();
-            encode_op(op, &mut buf);
+            enc.push(op, &mut buf);
             w.put(&buf)?;
             count += 1;
         }
-        w.put(&[OP_END])?;
+        buf.clear();
+        enc.finish(&mut buf);
+        buf.push(OP_END);
+        w.put(&buf)?;
         ops_per_core.push(count);
+        bytes_per_core.push(w.written - stream_start);
     }
 
     let bytes = w.written;
@@ -166,10 +196,45 @@ pub fn write_workload<W: Write + Seek>(
     }
     out.seek(SeekFrom::Start(end))?;
     out.flush()?;
-    Ok(LtfSummary { ops_per_core, bytes })
+    Ok(LtfSummary { ops_per_core, bytes_per_core, bytes })
 }
 
-/// Encodes `workload` into an in-memory LTF byte vector.
+/// Serializes `workload` to `out` in format version 1, draining every
+/// trace source.
+///
+/// The stream is written front to back; the core offset table is
+/// backpatched at the end, after which the cursor is restored to
+/// end-of-stream so callers can append (nothing in version 1 does).
+///
+/// # Errors
+///
+/// [`TraceError::Io`] on any write or seek failure;
+/// [`TraceError::Corrupt`] when the workload exceeds a decoder limit
+/// (name over [`MAX_NAME_LEN`] bytes, more than [`MAX_CORES`] traces or
+/// [`MAX_REGIONS`] regions) — the encoder refuses to produce a file the
+/// reader would reject.
+pub fn write_workload<W: Write + Seek>(
+    out: &mut W,
+    workload: Workload,
+) -> Result<LtfSummary, TraceError> {
+    write_workload_impl(out, workload, VERSION)
+}
+
+/// Serializes `workload` to `out` in the delta-compressed format
+/// version 2 (see [`super::v2`]). Same container, same single pass, same
+/// summary — typically less than half the stream bytes.
+///
+/// # Errors
+///
+/// Same failure modes as [`write_workload`].
+pub fn write_workload_v2<W: Write + Seek>(
+    out: &mut W,
+    workload: Workload,
+) -> Result<LtfSummary, TraceError> {
+    write_workload_impl(out, workload, VERSION_V2)
+}
+
+/// Encodes `workload` into an in-memory version-1 LTF byte vector.
 ///
 /// # Errors
 ///
@@ -180,9 +245,20 @@ pub fn workload_to_ltf_bytes(workload: Workload) -> Result<Vec<u8>, TraceError> 
     Ok(cursor.into_inner())
 }
 
+/// Encodes `workload` into an in-memory version-2 LTF byte vector.
+///
+/// # Errors
+///
+/// [`TraceError::Io`] if encoding fails (it cannot for a `Vec` sink).
+pub fn workload_to_ltf_bytes_v2(workload: Workload) -> Result<Vec<u8>, TraceError> {
+    let mut cursor = std::io::Cursor::new(Vec::new());
+    write_workload_v2(&mut cursor, workload)?;
+    Ok(cursor.into_inner())
+}
+
 impl Workload {
-    /// Serializes this workload to a `.ltf` file at `path`, consuming it
-    /// (the trace sources are drained).
+    /// Serializes this workload to a version-1 `.ltf` file at `path`,
+    /// consuming it (the trace sources are drained).
     ///
     /// # Errors
     ///
@@ -206,6 +282,18 @@ impl Workload {
         let file = std::fs::File::create(path)?;
         let mut out = std::io::BufWriter::new(file);
         write_workload(&mut out, self)
+    }
+
+    /// Serializes this workload to a delta-compressed version-2 `.ltf`
+    /// file at `path`, consuming it. Replays identically to the v1 dump.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] on file-creation or write failure.
+    pub fn dump_ltf_v2<P: AsRef<Path>>(self, path: P) -> Result<LtfSummary, TraceError> {
+        let file = std::fs::File::create(path)?;
+        let mut out = std::io::BufWriter::new(file);
+        write_workload_v2(&mut out, self)
     }
 }
 
@@ -236,6 +324,9 @@ mod tests {
         let bytes = workload_to_ltf_bytes(tiny_workload()).unwrap();
         assert_eq!(&bytes[..8], &MAGIC);
         assert_eq!(bytes[8], VERSION as u8);
+        let bytes = workload_to_ltf_bytes_v2(tiny_workload()).unwrap();
+        assert_eq!(&bytes[..8], &MAGIC);
+        assert_eq!(bytes[8], VERSION_V2 as u8);
     }
 
     #[test]
@@ -246,6 +337,18 @@ mod tests {
         assert_eq!(summary.ops_per_core, vec![2, 1]);
         assert_eq!(summary.total_ops(), 3);
         assert_eq!(summary.bytes, bytes.len() as u64);
+        // Stream bytes account for everything after the offset table.
+        let header_bytes = summary.bytes - summary.bytes_per_core.iter().sum::<u64>();
+        let (_, offsets) = crate::ltf::read_header_bytes(&bytes).unwrap();
+        assert_eq!(header_bytes, offsets[0]);
+    }
+
+    #[test]
+    fn v2_counts_the_same_ops_in_fewer_bytes() {
+        let v1 = write_workload(&mut std::io::Cursor::new(Vec::new()), tiny_workload()).unwrap();
+        let v2 = write_workload_v2(&mut std::io::Cursor::new(Vec::new()), tiny_workload()).unwrap();
+        assert_eq!(v1.ops_per_core, v2.ops_per_core);
+        assert!(v2.bytes <= v1.bytes, "v2 {} vs v1 {}", v2.bytes, v1.bytes);
     }
 
     #[test]

@@ -55,12 +55,42 @@ pub enum TraceOp {
 pub trait TraceSource: Send {
     /// The next operation, or `None` when the core's work is done.
     fn next_op(&mut self) -> Option<TraceOp>;
+
+    /// Appends up to `max` further operations to `out`, returning how
+    /// many were appended. Appending fewer than `max` means the stream
+    /// ended (and stays ended: later calls return 0) — consumers rely on
+    /// that to detect exhaustion without a separate probe.
+    ///
+    /// This is the amortization point of the trace plane: batch-friendly
+    /// sources (the LTF cursors, [`VecTrace`]) decode a whole batch per
+    /// virtual call instead of paying per-op dispatch, which is what the
+    /// engine's prefetch feeds and the serial core pull consume. The
+    /// default just loops [`next_op`](Self::next_op), so existing sources
+    /// keep working unchanged.
+    fn next_ops(&mut self, out: &mut Vec<TraceOp>, max: usize) -> usize {
+        let mut appended = 0;
+        while appended < max {
+            match self.next_op() {
+                Some(op) => {
+                    out.push(op);
+                    appended += 1;
+                }
+                None => break,
+            }
+        }
+        appended
+    }
 }
 
-/// A boxed trace for each core is also a trace.
+/// A boxed trace for each core is also a trace. Both methods forward, so
+/// batching survives the indirection.
 impl TraceSource for Box<dyn TraceSource> {
     fn next_op(&mut self) -> Option<TraceOp> {
         (**self).next_op()
+    }
+
+    fn next_ops(&mut self, out: &mut Vec<TraceOp>, max: usize) -> usize {
+        (**self).next_ops(out, max)
     }
 }
 
@@ -81,6 +111,12 @@ impl VecTrace {
 impl TraceSource for VecTrace {
     fn next_op(&mut self) -> Option<TraceOp> {
         self.ops.next()
+    }
+
+    fn next_ops(&mut self, out: &mut Vec<TraceOp>, max: usize) -> usize {
+        let before = out.len();
+        out.extend(self.ops.by_ref().take(max));
+        out.len() - before
     }
 }
 
@@ -155,6 +191,24 @@ mod tests {
         assert_eq!(t.next_op(), Some(TraceOp::Barrier { id: 0 }));
         assert_eq!(t.next_op(), None);
         assert_eq!(t.next_op(), None, "exhausted traces stay exhausted");
+    }
+
+    #[test]
+    fn next_ops_batches_and_signals_exhaustion() {
+        let ops =
+            vec![TraceOp::Compute(1), TraceOp::Compute(2), TraceOp::Load { addr: Addr::new(64) }];
+        let mut t = VecTrace::new(ops.clone());
+        let mut out = Vec::new();
+        assert_eq!(t.next_ops(&mut out, 2), 2, "full batch while ops remain");
+        assert_eq!(t.next_ops(&mut out, 2), 1, "short batch at end of stream");
+        assert_eq!(out, ops);
+        assert_eq!(t.next_ops(&mut out, 2), 0, "exhausted sources append nothing");
+
+        // The default impl (through a Box) agrees with the override.
+        let mut boxed: Box<dyn TraceSource> = Box::new(VecTrace::new(ops.clone()));
+        let mut out2 = Vec::new();
+        assert_eq!(boxed.next_ops(&mut out2, 100), 3);
+        assert_eq!(out2, ops);
     }
 
     #[test]

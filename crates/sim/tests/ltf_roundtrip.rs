@@ -112,11 +112,37 @@ proptest! {
         let b = ltf::workload_to_ltf_bytes(mk()).unwrap();
         prop_assert_eq!(a, b);
     }
+
+    #[test]
+    fn v2_workloads_round_trip(
+        cores in proptest::collection::vec(
+            proptest::collection::vec(arb_op(), 0..80), 0..5),
+        regions in proptest::collection::vec(arb_region(), 0..10),
+        instr_lines in 0u64..4096,
+    ) {
+        // The delta-compressed encoding is as lossless as v1 over the
+        // same arbitrary inputs — including unaligned addresses (which
+        // cannot use immediate tags) and 48-bit far jumps.
+        let mk = || workload_from("wl2·π".into(), &cores, regions.clone(), instr_lines);
+        let bytes = ltf::workload_to_ltf_bytes_v2(mk()).map_err(|e| {
+            proptest::TestCaseError::fail(format!("encode: {e}"))
+        })?;
+        let (header, decoded) = ltf::read_workload_bytes(&bytes).map_err(|e| {
+            proptest::TestCaseError::fail(format!("decode: {e}"))
+        })?;
+        prop_assert_eq!(header.version, ltf::VERSION_V2);
+        prop_assert_eq!(header.num_cores, cores.len());
+        prop_assert_eq!(&header.regions, &regions);
+        prop_assert_eq!(&decoded, &cores);
+        // Deterministic, like v1: same workload, same bytes.
+        prop_assert_eq!(&ltf::workload_to_ltf_bytes_v2(mk()).unwrap(), &bytes);
+    }
 }
 
 #[test]
 fn extreme_operands_stream_back_from_disk() {
     // Deterministic companion to the properties: max-width varint operands
+    // (and, for v2, worst-case line deltas across the whole 48-bit space)
     // written to a real file and decoded through the streaming reader.
     let ops = vec![
         TraceOp::Store { addr: Addr::new((1 << 48) - 8), value: u64::MAX },
@@ -124,18 +150,22 @@ fn extreme_operands_stream_back_from_disk() {
         TraceOp::Load { addr: Addr::new(0) },
         TraceOp::Barrier { id: u32::MAX },
     ];
-    let w = workload_from("extreme".into(), std::slice::from_ref(&ops), vec![], u64::MAX);
-    let path = std::env::temp_dir().join("lacc_ltf_extreme.ltf");
-    w.dump_ltf(&path).unwrap();
+    let w = || workload_from("extreme".into(), std::slice::from_ref(&ops), vec![], u64::MAX);
+    type Dump = fn(Workload, &std::path::PathBuf) -> Result<ltf::LtfSummary, TraceError>;
+    let dumps: [(Dump, &str); 2] = [(|w, p| w.dump_ltf(p), "v1"), (|w, p| w.dump_ltf_v2(p), "v2")];
+    for (dump, tag) in dumps {
+        let path = std::env::temp_dir().join(format!("lacc_ltf_extreme_{tag}.ltf"));
+        dump(w(), &path).unwrap();
 
-    let replayed = lacc_sim::ltf::read_workload(&path).unwrap();
-    assert_eq!(replayed.instr_lines, u64::MAX);
-    let mut trace = replayed.traces.into_iter().next().unwrap();
-    for expected in &ops {
-        assert_eq!(trace.next_op(), Some(*expected));
+        let replayed = lacc_sim::ltf::read_workload(&path).unwrap();
+        assert_eq!(replayed.instr_lines, u64::MAX, "{tag}");
+        let mut trace = replayed.traces.into_iter().next().unwrap();
+        for expected in &ops {
+            assert_eq!(trace.next_op(), Some(*expected), "{tag}");
+        }
+        assert_eq!(trace.next_op(), None, "{tag}");
+        std::fs::remove_file(&path).ok();
     }
-    assert_eq!(trace.next_op(), None);
-    std::fs::remove_file(&path).ok();
 }
 
 #[test]

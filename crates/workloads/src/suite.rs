@@ -461,6 +461,25 @@ impl Benchmark {
     ) -> Result<lacc_sim::ltf::LtfSummary, lacc_model::TraceError> {
         self.build(cores, scale).dump_ltf(path)
     }
+
+    /// Like [`Benchmark::dump_ltf`] but writes the delta-compressed v2
+    /// encoding (same container, version 2 streams).
+    ///
+    /// # Errors
+    ///
+    /// [`lacc_model::TraceError`] on any file-creation or write failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero (same contract as [`Benchmark::build`]).
+    pub fn dump_ltf_v2<P: AsRef<std::path::Path>>(
+        self,
+        cores: usize,
+        scale: f64,
+        path: P,
+    ) -> Result<lacc_sim::ltf::LtfSummary, lacc_model::TraceError> {
+        self.build(cores, scale).dump_ltf_v2(path)
+    }
 }
 
 #[cfg(test)]

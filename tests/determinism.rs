@@ -74,23 +74,33 @@ fn sharded_runs_reproduce_the_serial_oracle_for_every_suite_workload() {
 fn ltf_replay_is_report_identical_for_every_suite_workload() {
     // Determinism must survive the trip through the on-disk trace format:
     // for each benchmark, simulating the generator's workload and
-    // simulating its .ltf dump (decoded through the streaming reader)
-    // must produce byte-identical reports.
+    // simulating its .ltf dump — in *both* stream encodings, through both
+    // the serial and the sharded engine — must produce byte-identical
+    // reports.
     let cores = 4;
     let scale = 0.02;
     let dir = std::env::temp_dir();
     for b in Benchmark::ALL {
-        let run =
-            |w: Workload| Simulator::new(SystemConfig::small_for_tests(cores), w).unwrap().run();
-        let direct = run(b.build(cores, scale));
+        let run = |w: Workload, shards: usize| {
+            let opts = SimOptions { shards, ..SimOptions::default() };
+            Simulator::with_options(SystemConfig::small_for_tests(cores), w, opts).unwrap().run()
+        };
+        let direct = run(b.build(cores, scale), 1);
 
-        let path = dir.join(format!("lacc_replay_eq_{}.ltf", b.name()));
-        b.build(cores, scale).dump_ltf(&path).unwrap();
-        let replay = run(ltf::read_workload(&path).unwrap());
-        std::fs::remove_file(&path).ok();
-
-        assert_eq!(direct.workload, replay.workload, "{}", b.name());
-        assert_eq!(fingerprint(&direct), fingerprint(&replay), "{}", b.name());
-        assert_eq!(replay.monitor.violations, 0, "{}", b.name());
+        let v1 = dir.join(format!("lacc_replay_eq_{}_v1.ltf", b.name()));
+        let v2 = dir.join(format!("lacc_replay_eq_{}_v2.ltf", b.name()));
+        b.build(cores, scale).dump_ltf(&v1).unwrap();
+        b.build(cores, scale).dump_ltf_v2(&v2).unwrap();
+        for (path, encoding) in [(&v1, "v1"), (&v2, "v2")] {
+            for shards in [1, 2] {
+                let replay = run(ltf::read_workload(path).unwrap(), shards);
+                let tag = format!("{} {encoding} shards={shards}", b.name());
+                assert_eq!(direct.workload, replay.workload, "{tag}");
+                assert_eq!(fingerprint(&direct), fingerprint(&replay), "{tag}");
+                assert_eq!(replay.monitor.violations, 0, "{tag}");
+            }
+        }
+        std::fs::remove_file(&v1).ok();
+        std::fs::remove_file(&v2).ok();
     }
 }

@@ -11,7 +11,16 @@ use lacc::prelude::*;
 /// A small but non-trivial valid image: two cores, ops of every kind,
 /// region declarations of every class.
 fn valid_bytes() -> Vec<u8> {
-    let w = Workload {
+    ltf::workload_to_ltf_bytes(victim_workload()).unwrap()
+}
+
+/// The same workload in the delta-compressed v2 encoding.
+fn valid_bytes_v2() -> Vec<u8> {
+    ltf::workload_to_ltf_bytes_v2(victim_workload()).unwrap()
+}
+
+fn victim_workload() -> Workload {
+    Workload {
         name: "victim".into(),
         traces: vec![
             Box::new(VecTrace::new(vec![
@@ -32,8 +41,7 @@ fn valid_bytes() -> Vec<u8> {
         ],
         instr_lines: 16,
         instr_base: default_instr_base(),
-    };
-    ltf::workload_to_ltf_bytes(w).unwrap()
+    }
 }
 
 /// Decodes through the file-backed streaming path, cleaning up after
@@ -97,11 +105,12 @@ fn bad_magic_is_typed() {
 
 #[test]
 fn unsupported_version_is_typed() {
+    // Versions 1 and 2 are the format; anything else is rejected.
     let mut bytes = Vec::new();
     bytes.extend_from_slice(&ltf::MAGIC);
-    bytes.extend_from_slice(&v(ltf::VERSION + 1));
+    bytes.extend_from_slice(&v(ltf::VERSION_V2 + 97));
     let e = ltf::read_workload_bytes(&bytes).unwrap_err();
-    assert_eq!(e, TraceError::UnsupportedVersion { found: ltf::VERSION + 1 });
+    assert_eq!(e, TraceError::UnsupportedVersion { found: 99 });
     assert_eq!(open_as_file(&bytes, "version").unwrap_err(), e);
 }
 
@@ -253,4 +262,91 @@ fn every_prefix_of_a_valid_file_errors_not_panics() {
         );
     }
     assert!(ltf::read_workload_bytes(&bytes).is_ok());
+}
+
+// ---------------------------------------------------------------------
+// Version 2: the delta-compressed stream encoding must be exactly as
+// total as v1 — same sweep, same typed errors, byte layouts of its own.
+// ---------------------------------------------------------------------
+
+#[test]
+fn v2_image_decodes_everywhere_and_matches_v1() {
+    let bytes = valid_bytes_v2();
+    let (header, ops) = ltf::read_workload_bytes(&bytes).unwrap();
+    assert_eq!(header.version, ltf::VERSION_V2);
+    assert_eq!(header.name, "victim");
+    let w = open_as_file(&bytes, "valid_v2").unwrap();
+    assert_eq!(w.active_cores(), 2);
+
+    // Both encodings of the same workload decode to the same ops under
+    // the same header (bar the version tag).
+    let (header_v1, ops_v1) = ltf::read_workload_bytes(&valid_bytes()).unwrap();
+    assert_eq!(ops, ops_v1);
+    assert_eq!(header.regions, header_v1.regions);
+}
+
+#[test]
+fn every_prefix_of_a_valid_v2_file_errors_not_panics() {
+    let bytes = valid_bytes_v2();
+    for len in 0..bytes.len() {
+        assert!(
+            ltf::read_workload_bytes(&bytes[..len]).is_err(),
+            "v2 prefix of {len} bytes decoded successfully"
+        );
+    }
+    assert!(ltf::read_workload_bytes(&bytes).is_ok());
+}
+
+#[test]
+fn v2_undefined_tag_is_typed() {
+    // Tags 0xF0..=0xFF are unassigned in v2.
+    let bytes = valid_bytes_v2();
+    let (_, offsets) = ltf::read_header_bytes(&bytes).unwrap();
+    let mut bytes = bytes;
+    bytes[offsets[0] as usize] = 0xf7;
+    let e = ltf::read_workload_bytes(&bytes).unwrap_err();
+    assert_eq!(e, TraceError::BadOpCode { code: 0xf7 });
+    assert_eq!(open_as_file(&bytes, "v2_opcode").unwrap_err(), e);
+}
+
+#[test]
+fn v2_corrupt_run_length_is_typed() {
+    // A lone Compute(9) encodes as [OP2_COMPUTE, 9]; retagging it as a
+    // run record makes the end marker parse as repeat = 0 — out of the
+    // legal 2..=MAX_RUN range.
+    let w = Workload {
+        name: "run".into(),
+        traces: vec![Box::new(VecTrace::new(vec![TraceOp::Compute(9)]))],
+        regions: vec![],
+        instr_lines: 0,
+        instr_base: default_instr_base(),
+    };
+    let bytes = ltf::workload_to_ltf_bytes_v2(w).unwrap();
+    let (_, offsets) = ltf::read_header_bytes(&bytes).unwrap();
+    let mut bytes = bytes;
+    assert_eq!(bytes[offsets[0] as usize], ltf::v2::OP2_COMPUTE);
+    bytes[offsets[0] as usize] = ltf::v2::OP2_COMPUTE_RUN;
+    let e = ltf::read_workload_bytes(&bytes).unwrap_err();
+    assert_eq!(e, TraceError::Corrupt { what: "compute run length out of range" });
+    assert_eq!(open_as_file(&bytes, "v2_run").unwrap_err(), e);
+}
+
+#[test]
+fn v2_truncated_store_value_is_typed() {
+    // A store's fixed eight value bytes are the file's tail once the end
+    // marker is cut; shaving two bytes lands mid-value.
+    let w = Workload {
+        name: "cut2".into(),
+        traces: vec![Box::new(VecTrace::new(vec![TraceOp::Store {
+            addr: Addr::new(0x40),
+            value: u64::MAX,
+        }]))],
+        regions: vec![],
+        instr_lines: 0,
+        instr_base: default_instr_base(),
+    };
+    let bytes = ltf::workload_to_ltf_bytes_v2(w).unwrap();
+    let e = ltf::read_workload_bytes(&bytes[..bytes.len() - 2]).unwrap_err();
+    assert_eq!(e, TraceError::Truncated { what: "store value" });
+    assert_eq!(open_as_file(&bytes[..bytes.len() - 2], "v2_value").unwrap_err(), e);
 }
