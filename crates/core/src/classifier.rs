@@ -241,6 +241,35 @@ impl LocalityClassifier {
         }
     }
 
+    /// Appends a canonical encoding of the classifier's mutable state to
+    /// `out`, remapping core indices through `map` (the model checker's
+    /// symmetry-reduction hook; identity for an unpermuted fingerprint).
+    ///
+    /// Complete storage is order-insensitive, so entries are emitted sorted
+    /// by mapped core id. Limited_k storage emits entries in *list order*:
+    /// the list position feeds the §3.4 replacement policy, so two states
+    /// whose lists differ only in order are behaviorally distinct.
+    pub fn encode_state(&self, out: &mut Vec<u64>, map: &mut dyn FnMut(usize) -> usize) {
+        let encode_info = |info: &CoreInfo, map: &mut dyn FnMut(usize) -> usize| {
+            let mapped = map(info.core as usize) as u64;
+            (mapped << 24)
+                | (u64::from(info.flags) << 16)
+                | (u64::from(info.remote_util) << 8)
+                | u64::from(info.rat_level)
+        };
+        match &self.storage {
+            Storage::Complete(v) => {
+                let mut entries: Vec<u64> = v.iter().map(|i| encode_info(i, map)).collect();
+                entries.sort_unstable();
+                out.extend(entries);
+            }
+            Storage::Limited(v) => {
+                out.push(v.len() as u64);
+                out.extend(v.iter().map(|i| encode_info(i, map)));
+            }
+        }
+    }
+
     /// Classifies a miss request from `core` and updates utilization
     /// counters per §3.2/§3.3.
     ///

@@ -256,6 +256,25 @@ impl L1Cache {
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &L1Line)> {
         self.tags.iter()
     }
+
+    /// Number of sets in the tag array.
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.tags.num_sets()
+    }
+
+    /// The set a line maps to.
+    #[must_use]
+    pub fn set_index(&self, line: LineAddr) -> usize {
+        self.tags.set_index(line)
+    }
+
+    /// Iterates over the valid ways of one set as `(line, lru_stamp,
+    /// line_state)`. Stamps order ways by recency (larger = more recent);
+    /// the model checker canonicalizes them to relative ranks.
+    pub fn iter_set(&self, set: usize) -> impl Iterator<Item = (LineAddr, u64, &L1Line)> {
+        self.tags.iter_set(set)
+    }
 }
 
 #[cfg(test)]

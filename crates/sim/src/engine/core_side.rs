@@ -32,7 +32,10 @@ impl Simulator {
             let op = match self.cores[ci].replay.take() {
                 Some(op) => op,
                 None => match self.cores[ci].trace.next_op() {
-                    Some(op) => op,
+                    Some(op) => {
+                        self.cores[ci].ops_consumed += 1;
+                        op
+                    }
                     None => {
                         self.cores[ci].finished = true;
                         self.cores[ci].trace = super::state::TraceFeed::Done;
@@ -131,7 +134,7 @@ impl Simulator {
                     self.cores[ci].l1d_stats.record_hit();
                     self.cores[ci].clock += 1;
                     self.cores[ci].breakdown.compute += 1;
-                    self.monitor.on_read(CoreId::new(ci), line, word, v);
+                    self.monitor.on_read(CoreId::new(ci), line, word, v, clock);
                     true
                 } else {
                     if clock > now {
@@ -170,7 +173,7 @@ impl Simulator {
                         self.cores[ci].l1d_stats.record_hit();
                         self.cores[ci].clock += 1;
                         self.cores[ci].breakdown.compute += 1;
-                        self.monitor.on_write(CoreId::new(ci), line, word, value);
+                        self.monitor.on_write(CoreId::new(ci), line, word, value, clock);
                         true
                     }
                     outcome => {
@@ -309,11 +312,11 @@ impl Simulator {
                     debug_assert_eq!(mesi, MesiState::Modified);
                     let d = self.slab.make_mut(data);
                     self.slab.get_mut(d).set_word(out.word, out.value);
-                    self.monitor.on_write(core_id, out.line, out.word, out.value);
+                    self.monitor.on_write(core_id, out.line, out.word, out.value, now);
                     d
                 } else {
                     let v = self.slab.get(data).word(out.word);
-                    self.monitor.on_read(core_id, out.line, out.word, v);
+                    self.monitor.on_read(core_id, out.line, out.word, v, now);
                     data
                 };
                 let cache =
@@ -353,7 +356,7 @@ impl Simulator {
                     &mut self.slab,
                 );
                 self.counts.l1d_writes += 1;
-                self.monitor.on_write(core_id, out.line, out.word, out.value);
+                self.monitor.on_write(core_id, out.line, out.word, out.value, now);
             }
             Payload::WordReadReply { .. } => {
                 self.cores[ci].miss_class.record_remote_access(out.line);

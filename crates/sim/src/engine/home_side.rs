@@ -17,7 +17,7 @@
 //! move — and `DramWriteBack` transfers the victim's handle to the memory
 //! controller. A clean L2 eviction is a pure release.
 
-use lacc_cache::DataRef;
+use lacc_cache::{DataRef, LineData};
 use lacc_core::classifier::{RemovalReason, SharerMode};
 use lacc_core::home::{AccessKind, DirectoryEntry, Grant, HomeRequest};
 use lacc_core::mesi::MesiState;
@@ -26,6 +26,7 @@ use lacc_model::{CoreId, Cycle, LatencyAnnotation, LineAddr};
 
 use crate::msg::{Message, Payload};
 
+use super::explore::FaultInjection;
 use super::state::{Awaiting, EvictTxn, HomeTxn, L2Line, Phase, RequestTxn};
 use super::{Event, Simulator, INSTALL_RETRY_CYCLES};
 
@@ -236,6 +237,11 @@ impl Simulator {
                 self.protocol.write_backs += 1;
                 let home = CoreId::new(tile);
                 self.send(home, owner, line, Payload::WbReq, now);
+                // Seeded bug (mutation testing): retire the transaction
+                // while its write-back is still in flight.
+                if self.fault == Some(FaultInjection::PrematureTxnRetire) {
+                    self.tiles[tile].txn_remove(line);
+                }
                 return;
             }
         }
@@ -257,7 +263,14 @@ impl Simulator {
             }
         };
         match plan {
-            Some(InvalidationPlan::Unicast(cores)) => {
+            Some(InvalidationPlan::Unicast(mut cores)) => {
+                // Seeded bug (mutation testing): silently drop one of the
+                // planned invalidations — neither sent nor awaited.
+                if self.fault == Some(FaultInjection::DropInvalidation) {
+                    if let Some(victim) = (&cores).into_iter().next() {
+                        cores.remove(victim);
+                    }
+                }
                 let home = CoreId::new(tile);
                 for c in &cores {
                     self.protocol.invalidations_sent += 1;
@@ -298,11 +311,25 @@ impl Simulator {
                 debug_assert_eq!(txn.phase, Phase::AwaitAcks, "unexpected inv-ack");
                 debug_assert!(!back);
                 self.inval_histogram.record(util);
-                let counted = txn.awaiting.note_response(from);
+                // Seeded bug (mutation testing): claim the ack was counted
+                // without decrementing the awaited set/count.
+                let counted = if self.fault == Some(FaultInjection::SkippedAckDecrement) {
+                    true
+                } else {
+                    txn.awaiting.note_response(from)
+                };
                 debug_assert!(counted, "uncounted inv-ack from {from}");
                 let done = txn.awaiting.done();
+                // Seeded bug (mutation testing): clear the wrong core from
+                // the sharer set.
+                let ack_core = if self.fault == Some(FaultInjection::WrongSharerClear) {
+                    CoreId::new((from.index() + 1) % self.cfg.num_cores)
+                } else {
+                    from
+                };
                 let l2line = self.tiles[tile].l2.peek_mut(line).expect("resident during txn");
-                let mode = l2line.entry.sharer_response(from, util, RemovalReason::Invalidation);
+                let mode =
+                    l2line.entry.sharer_response(ack_core, util, RemovalReason::Invalidation);
                 if mode == Some(SharerMode::Remote) {
                     self.protocol.demotions += 1;
                 }
@@ -494,7 +521,15 @@ impl Simulator {
                     };
                     // Alias the resident slot: the grant ships a second
                     // handle to the same 64 bytes instead of a copy.
-                    let data = self.slab.retain(l2line.data);
+                    // Seeded bug (mutation testing): grant stale (zeroed)
+                    // data instead of the resident line. Allocating keeps
+                    // the slab refcount audit balanced — the bug is purely
+                    // a data-value one.
+                    let data = if self.fault == Some(FaultInjection::StaleGrant) {
+                        self.slab.alloc(LineData::zeroed())
+                    } else {
+                        self.slab.retain(l2line.data)
+                    };
                     Payload::GrantLine { mesi, data, ann }
                 }
                 Grant::Upgrade => {
@@ -509,7 +544,7 @@ impl Simulator {
                     self.protocol.word_reads += 1;
                     l2line.entry.complete_grant(txn.requester, decision.grant);
                     let value = self.slab.get(l2line.data).word(txn.word);
-                    self.monitor.on_read(txn.requester, line, txn.word, value);
+                    self.monitor.on_read(txn.requester, line, txn.word, value, now);
                     Payload::WordReadReply { value, ann }
                 }
                 Grant::WordWrite => {
@@ -522,7 +557,7 @@ impl Simulator {
                     self.slab.get_mut(l2line.data).set_word(txn.word, txn.value);
                     l2line.dirty = true;
                     l2line.entry.complete_grant(txn.requester, decision.grant);
-                    self.monitor.on_write(txn.requester, line, txn.word, txn.value);
+                    self.monitor.on_write(txn.requester, line, txn.word, txn.value, now);
                     Payload::WordWriteAck { ann }
                 }
             }

@@ -30,6 +30,7 @@
 //! * `l1_side` — remote-initiated L1 actions (invalidations, write-back
 //!   requests).
 
+pub mod explore;
 pub mod queue;
 
 mod core_side;
@@ -55,6 +56,7 @@ use crate::report::{ProtocolStats, SimReport};
 use crate::sync::SyncManager;
 use crate::trace::{TraceSource, Workload};
 
+use explore::{ChoicePlane, FaultInjection};
 use queue::CalendarQueue;
 use shard::{FeedHandle, FeedShared, ShardPlane, ShutdownGuard};
 use state::{CoreState, TileState, TraceFeed, TxnArena, Waiters};
@@ -148,6 +150,11 @@ impl Default for SimOptions {
 pub(crate) enum EventPlane {
     Serial(CalendarQueue<Event>),
     Sharded(Box<ShardPlane>),
+    /// The model checker's pending-event set ([`explore`]): every push
+    /// lands in an inspectable list, pops replay the serial `(cycle,
+    /// push-order)` total order, and `Simulator::fire_choice` can instead
+    /// fire any *enabled* pending event out of order.
+    Choice(ChoicePlane),
 }
 
 impl EventPlane {
@@ -156,6 +163,7 @@ impl EventPlane {
         match self {
             EventPlane::Serial(q) => q.push(at, ev),
             EventPlane::Sharded(p) => p.push(at, ev),
+            EventPlane::Choice(p) => p.push(at, ev),
         }
     }
 
@@ -164,6 +172,7 @@ impl EventPlane {
         match self {
             EventPlane::Serial(q) => q.pop(),
             EventPlane::Sharded(p) => p.pop(),
+            EventPlane::Choice(p) => p.pop(),
         }
     }
 }
@@ -200,6 +209,16 @@ pub struct Simulator {
     pub(crate) evict_histogram: UtilizationHistogram,
     pub(crate) protocol: ProtocolStats,
     pub(crate) active_cores: usize,
+    /// Monotone dispatch clock for exploration mode (`explore`): the
+    /// maximum cycle any fired event has carried. Out-of-order firing must
+    /// never hand a handler a `now` below state timestamps it compares
+    /// against (`now - issue_time` etc.). Zero and unused outside
+    /// exploration.
+    pub(crate) explore_now: Cycle,
+    /// The seeded protocol bug this instance injects (`None` in every
+    /// normal run; the model checker's mutation harness sets it through
+    /// [`Simulator::for_exploration`]).
+    pub(crate) fault: Option<FaultInjection>,
 }
 
 // The experiment harness (`lacc_experiments::run_jobs`) dispatches whole
@@ -318,6 +337,8 @@ impl Simulator {
             evict_histogram: UtilizationHistogram::new(),
             protocol: ProtocolStats::default(),
             active_cores: active,
+            explore_now: 0,
+            fault: None,
             cfg,
         };
         for c in 0..sim.cores.len() {
@@ -343,7 +364,7 @@ impl Simulator {
     /// hanging it, and the original message still propagates.
     pub fn run(mut self) -> SimReport {
         match self.events {
-            EventPlane::Serial(_) => self.event_loop(),
+            EventPlane::Serial(_) | EventPlane::Choice(_) => self.event_loop(),
             EventPlane::Sharded(_) => self.run_sharded(),
         }
         self.finish()
@@ -351,11 +372,19 @@ impl Simulator {
 
     fn event_loop(&mut self) {
         while let Some((now, ev)) = self.events.pop() {
-            match ev {
-                Event::CoreStep(c) => self.step_core(c, now),
-                Event::Deliver(msg) => self.deliver(msg, now),
-                Event::HomeLookup { tile, line } => self.home_lookup(tile, line, now),
-            }
+            self.dispatch(ev, now);
+        }
+    }
+
+    /// Executes one event at dispatch time `now` — the single transition
+    /// function both the event loop and the exploration seam
+    /// (`Simulator::fire_choice`) drive, so the model checker exercises
+    /// exactly the shipping handlers.
+    pub(crate) fn dispatch(&mut self, ev: Event, now: Cycle) {
+        match ev {
+            Event::CoreStep(c) => self.step_core(c, now),
+            Event::Deliver(msg) => self.deliver(msg, now),
+            Event::HomeLookup { tile, line } => self.home_lookup(tile, line, now),
         }
     }
 

@@ -138,6 +138,11 @@ pub(crate) struct CoreState {
     pub instr_pos: u64,
     pub instructions: u64,
     pub outstanding: Option<Outstanding>,
+    /// Ops pulled from the trace so far. The refill buffer in
+    /// [`BatchedSource`] makes the raw source position unobservable; this
+    /// counter is the architectural trace cursor the model checker
+    /// fingerprints.
+    pub ops_consumed: u64,
 }
 
 impl CoreState {
@@ -157,6 +162,7 @@ impl CoreState {
             instr_pos: 0,
             instructions: 0,
             outstanding: None,
+            ops_consumed: 0,
         }
     }
 }
@@ -231,6 +237,15 @@ impl<T> TxnArena<T> {
                 id
             }
         }
+    }
+
+    /// Shared access to the transaction in slot `id` (invariant checks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant (stale id).
+    pub fn get(&self, id: TxnId) -> &T {
+        self.slots[id as usize].as_ref().expect("stale TxnId: slot is vacant")
     }
 
     /// Mutable access to the transaction in slot `id`.
@@ -368,6 +383,17 @@ impl<T> Waiters<T> {
             self.map.remove(&line);
         }
         item
+    }
+
+    /// `true` when no line has queued requests (quiescence checks).
+    pub fn is_empty(&self) -> bool {
+        self.map.values().all(VecDeque::is_empty)
+    }
+
+    /// Iterates every non-empty queue as `(line, queue)` in map order
+    /// (callers needing a canonical order sort by line).
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &VecDeque<T>)> {
+        self.map.iter().map(|(l, q)| (*l, q))
     }
 }
 

@@ -51,6 +51,7 @@ pub mod report;
 pub mod sync;
 pub mod trace;
 
+pub use engine::explore::FaultInjection;
 pub use engine::{SimOptions, Simulator};
 pub use monitor::CoherenceMonitor;
 pub use report::{ProtocolStats, SimReport};

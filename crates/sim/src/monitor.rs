@@ -14,9 +14,69 @@
 //! the shadow; remote (word) reads execute at the L2 at the serialization
 //! point itself. Any stale read — a missed invalidation, a lost write-back,
 //! a wrong merge — breaks the equality immediately.
+//!
+//! Beyond the per-run read check, the model checker (`lacc_mc`) uses the
+//! monitor as the data-value reference: [`CoherenceMonitor::verify_resident`]
+//! compares a resident cache copy word against the shadow at any state, and
+//! [`CoherenceMonitor::record_swmr_breach`] lets an external invariant
+//! checker report multiple-writer states through the same reporting path.
 
 use lacc_cache::{DataRef, DataSlab, LineData};
-use lacc_model::{CoreId, LineAddr, LineMap};
+use lacc_model::{CoreId, Cycle, LineAddr, LineMap};
+
+/// Words per cache line in the shadow (64-byte lines of 8-byte words).
+const WORDS_PER_LINE: usize = 8;
+
+/// What kind of coherence property a violation broke.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ViolationKind {
+    /// A read returned a value different from the last serialized write.
+    StaleRead,
+    /// More than one core held a writable (M/E) copy of a line.
+    SwmrBreach,
+    /// A resident cache copy disagreed with the shadow memory.
+    ShadowMismatch,
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ViolationKind::StaleRead => "stale read",
+            ViolationKind::SwmrBreach => "SWMR breach",
+            ViolationKind::ShadowMismatch => "shadow mismatch",
+        })
+    }
+}
+
+/// One recorded coherence violation: everything needed to diagnose the
+/// failure without rerunning under `panic_on_violation`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ViolationRecord {
+    /// Which property broke.
+    pub kind: ViolationKind,
+    /// The core whose access (or copy) exposed the violation.
+    pub core: CoreId,
+    /// The line involved.
+    pub line: LineAddr,
+    /// The word within the line (0 for whole-line violations).
+    pub word: usize,
+    /// The cycle at which the violation was observed.
+    pub cycle: Cycle,
+    /// The value observed.
+    pub got: u64,
+    /// The value the shadow expected.
+    pub expected: u64,
+}
+
+impl std::fmt::Display for ViolationRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "coherence violation ({}): {} at {} word {} cycle {}: got {:#x}, expected {:#x}",
+            self.kind, self.core, self.line, self.word, self.cycle, self.got, self.expected
+        )
+    }
+}
 
 /// Statistics and failure record of the monitor.
 #[derive(Clone, Debug, Default)]
@@ -25,8 +85,9 @@ pub struct MonitorReport {
     pub reads_checked: u64,
     /// Writes recorded.
     pub writes_recorded: u64,
-    /// Description of the first violation, if any.
-    pub first_violation: Option<String>,
+    /// The first violation, if any (line, cycle, core and kind — enough to
+    /// diagnose without a rerun).
+    pub first_violation: Option<ViolationRecord>,
     /// Total violations.
     pub violations: u64,
 }
@@ -45,6 +106,7 @@ pub struct CoherenceMonitor {
     slab: DataSlab,
     enabled: bool,
     panic_on_violation: bool,
+    word_skew: usize,
     report: MonitorReport,
 }
 
@@ -59,12 +121,36 @@ impl CoherenceMonitor {
             slab: DataSlab::new(),
             enabled,
             panic_on_violation,
+            word_skew: 0,
             report: MonitorReport::default(),
         }
     }
 
-    /// Records a serialized write of `value` to `word` of `line`.
-    pub fn on_write(&mut self, _core: CoreId, line: LineAddr, word: usize, value: u64) {
+    /// Seeded bug (mutation testing): shadow writes land `skew` words away
+    /// from the word actually written, so the oracle itself is off by one.
+    /// The model checker's mutation harness uses this to prove the checker
+    /// detects a broken monitor; never set in a normal run.
+    pub fn set_word_skew(&mut self, skew: usize) {
+        self.word_skew = skew;
+    }
+
+    fn record(&mut self, rec: ViolationRecord) {
+        self.report.violations += 1;
+        if self.report.first_violation.is_none() {
+            self.report.first_violation = Some(rec);
+        }
+        assert!(!self.panic_on_violation, "{rec}");
+    }
+
+    /// Records a serialized write of `value` to `word` of `line` at `now`.
+    pub fn on_write(
+        &mut self,
+        _core: CoreId,
+        line: LineAddr,
+        word: usize,
+        value: u64,
+        _now: Cycle,
+    ) {
         if !self.enabled {
             return;
         }
@@ -77,29 +163,98 @@ impl CoherenceMonitor {
                 r
             }
         };
+        let word = (word + self.word_skew) % WORDS_PER_LINE;
         self.slab.get_mut(r).set_word(word, value);
     }
 
-    /// Checks a read of `word` of `line` that returned `value`.
+    /// Checks a read of `word` of `line` that returned `value` at `now`.
     ///
     /// # Panics
     ///
     /// Panics on a violation when constructed with `panic_on_violation`.
-    pub fn on_read(&mut self, core: CoreId, line: LineAddr, word: usize, value: u64) {
+    pub fn on_read(&mut self, core: CoreId, line: LineAddr, word: usize, value: u64, now: Cycle) {
         if !self.enabled {
             return;
         }
         self.report.reads_checked += 1;
         let expected = self.shadow.get(&line).map_or(0, |&r| self.slab.get(r).word(word));
         if value != expected {
-            self.report.violations += 1;
-            let msg = format!(
-                "coherence violation: {core} read {line} word {word}: got {value:#x}, expected {expected:#x}"
-            );
-            if self.report.first_violation.is_none() {
-                self.report.first_violation = Some(msg.clone());
-            }
-            assert!(!self.panic_on_violation, "{msg}");
+            self.record(ViolationRecord {
+                kind: ViolationKind::StaleRead,
+                core,
+                line,
+                word,
+                cycle: now,
+                got: value,
+                expected,
+            });
+        }
+    }
+
+    /// Checks a *resident* copy's word against the shadow without counting
+    /// it as a read (the model checker's at-every-state data-value sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a violation when constructed with `panic_on_violation`.
+    pub fn verify_resident(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        word: usize,
+        value: u64,
+        now: Cycle,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let expected = self.shadow.get(&line).map_or(0, |&r| self.slab.get(r).word(word));
+        if value != expected {
+            self.record(ViolationRecord {
+                kind: ViolationKind::ShadowMismatch,
+                core,
+                line,
+                word,
+                cycle: now,
+                got: value,
+                expected,
+            });
+        }
+    }
+
+    /// Reports that `core` holds a writable copy of `line` while another
+    /// writable copy exists (detected by an external invariant checker;
+    /// the monitor itself cannot see cache states).
+    ///
+    /// # Panics
+    ///
+    /// Panics when constructed with `panic_on_violation`.
+    pub fn record_swmr_breach(&mut self, core: CoreId, line: LineAddr, now: Cycle) {
+        if !self.enabled {
+            return;
+        }
+        self.record(ViolationRecord {
+            kind: ViolationKind::SwmrBreach,
+            core,
+            line,
+            word: 0,
+            cycle: now,
+            got: 0,
+            expected: 0,
+        });
+    }
+
+    /// Appends a canonical encoding of the shadow memory to `out` (lines
+    /// sorted by address, eight words each) — the model checker
+    /// fingerprints the oracle state alongside the machine state.
+    pub(crate) fn encode_shadow(&self, out: &mut Vec<u64>) {
+        let mut lines: Vec<(LineAddr, DataRef)> =
+            self.shadow.iter().map(|(l, r)| (*l, *r)).collect();
+        lines.sort_unstable_by_key(|&(l, _)| l.raw());
+        out.push(lines.len() as u64);
+        for (line, r) in lines {
+            out.push(line.raw());
+            out.extend_from_slice(self.slab.get(r).words());
         }
     }
 
@@ -127,7 +282,7 @@ mod tests {
     #[test]
     fn reads_of_untouched_memory_expect_zero() {
         let mut m = CoherenceMonitor::new(true, true);
-        m.on_read(CoreId::new(0), l(5), 3, 0);
+        m.on_read(CoreId::new(0), l(5), 3, 0, 0);
         assert!(m.clean());
         assert_eq!(m.report().reads_checked, 1);
     }
@@ -135,8 +290,8 @@ mod tests {
     #[test]
     fn write_then_read_matches() {
         let mut m = CoherenceMonitor::new(true, true);
-        m.on_write(CoreId::new(1), l(5), 3, 0xabc);
-        m.on_read(CoreId::new(2), l(5), 3, 0xabc);
+        m.on_write(CoreId::new(1), l(5), 3, 0xabc, 0);
+        m.on_read(CoreId::new(2), l(5), 3, 0xabc, 1);
         assert!(m.clean());
     }
 
@@ -144,27 +299,36 @@ mod tests {
     #[should_panic(expected = "coherence violation")]
     fn stale_read_panics() {
         let mut m = CoherenceMonitor::new(true, true);
-        m.on_write(CoreId::new(1), l(5), 3, 1);
-        m.on_write(CoreId::new(1), l(5), 3, 2);
-        m.on_read(CoreId::new(2), l(5), 3, 1);
+        m.on_write(CoreId::new(1), l(5), 3, 1, 0);
+        m.on_write(CoreId::new(1), l(5), 3, 2, 1);
+        m.on_read(CoreId::new(2), l(5), 3, 1, 2);
     }
 
     #[test]
-    fn non_panicking_mode_counts_violations() {
+    fn non_panicking_mode_records_the_first_violation() {
         let mut m = CoherenceMonitor::new(true, false);
-        m.on_write(CoreId::new(0), l(1), 0, 7);
-        m.on_read(CoreId::new(0), l(1), 0, 8);
-        m.on_read(CoreId::new(0), l(1), 0, 9);
+        m.on_write(CoreId::new(0), l(1), 0, 7, 10);
+        m.on_read(CoreId::new(3), l(1), 0, 8, 20);
+        m.on_read(CoreId::new(0), l(1), 0, 9, 30);
         assert_eq!(m.report().violations, 2);
-        assert!(m.report().first_violation.as_deref().unwrap().contains("expected 0x7"));
+        let first = m.report().first_violation.expect("violation recorded");
+        assert_eq!(first.kind, ViolationKind::StaleRead);
+        assert_eq!(first.core, CoreId::new(3));
+        assert_eq!(first.line, l(1));
+        assert_eq!(first.word, 0);
+        assert_eq!(first.cycle, 20);
+        assert_eq!((first.got, first.expected), (8, 7));
+        assert!(first.to_string().contains("expected 0x7"), "{first}");
         assert!(!m.clean());
     }
 
     #[test]
     fn disabled_monitor_is_free() {
         let mut m = CoherenceMonitor::new(false, true);
-        m.on_write(CoreId::new(0), l(1), 0, 7);
-        m.on_read(CoreId::new(0), l(1), 0, 999);
+        m.on_write(CoreId::new(0), l(1), 0, 7, 0);
+        m.on_read(CoreId::new(0), l(1), 0, 999, 1);
+        m.verify_resident(CoreId::new(0), l(1), 0, 999, 1);
+        m.record_swmr_breach(CoreId::new(0), l(1), 1);
         assert!(m.clean());
         assert_eq!(m.report().reads_checked, 0);
     }
@@ -172,9 +336,64 @@ mod tests {
     #[test]
     fn words_are_independent() {
         let mut m = CoherenceMonitor::new(true, true);
-        m.on_write(CoreId::new(0), l(1), 0, 7);
-        m.on_read(CoreId::new(0), l(1), 1, 0);
-        m.on_read(CoreId::new(0), l(1), 0, 7);
+        m.on_write(CoreId::new(0), l(1), 0, 7, 0);
+        m.on_read(CoreId::new(0), l(1), 1, 0, 1);
+        m.on_read(CoreId::new(0), l(1), 0, 7, 2);
         assert!(m.clean());
+    }
+
+    #[test]
+    fn verify_resident_flags_shadow_mismatch_without_counting_reads() {
+        let mut m = CoherenceMonitor::new(true, false);
+        m.on_write(CoreId::new(1), l(9), 2, 0xbeef, 5);
+        m.verify_resident(CoreId::new(2), l(9), 2, 0xbeef, 6);
+        assert!(m.clean(), "matching resident copy is no violation");
+        m.verify_resident(CoreId::new(2), l(9), 2, 0xdead, 7);
+        assert_eq!(m.report().violations, 1);
+        assert_eq!(m.report().reads_checked, 0, "resident sweeps are not reads");
+        let first = m.report().first_violation.expect("recorded");
+        assert_eq!(first.kind, ViolationKind::ShadowMismatch);
+        assert_eq!((first.got, first.expected), (0xdead, 0xbeef));
+        assert_eq!(first.cycle, 7);
+    }
+
+    #[test]
+    fn swmr_breach_is_recorded_with_core_and_line() {
+        let mut m = CoherenceMonitor::new(true, false);
+        m.record_swmr_breach(CoreId::new(5), l(40), 123);
+        assert_eq!(m.report().violations, 1);
+        let first = m.report().first_violation.expect("recorded");
+        assert_eq!(first.kind, ViolationKind::SwmrBreach);
+        assert_eq!(first.core, CoreId::new(5));
+        assert_eq!(first.line, l(40));
+        assert_eq!(first.cycle, 123);
+        assert!(first.to_string().contains("SWMR breach"));
+    }
+
+    #[test]
+    #[should_panic(expected = "SWMR breach")]
+    fn swmr_breach_panics_in_panicking_mode() {
+        let mut m = CoherenceMonitor::new(true, true);
+        m.record_swmr_breach(CoreId::new(0), l(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shadow mismatch")]
+    fn shadow_mismatch_panics_in_panicking_mode() {
+        let mut m = CoherenceMonitor::new(true, true);
+        m.on_write(CoreId::new(0), l(1), 0, 1, 0);
+        m.verify_resident(CoreId::new(1), l(1), 0, 2, 1);
+    }
+
+    #[test]
+    fn word_skew_breaks_the_oracle_on_purpose() {
+        let mut m = CoherenceMonitor::new(true, false);
+        m.set_word_skew(1);
+        m.on_write(CoreId::new(0), l(1), 0, 7, 0);
+        // The shadow recorded the write at word 1; a correct protocol
+        // returning 7 at word 0 now looks like a violation.
+        m.on_read(CoreId::new(0), l(1), 0, 7, 1);
+        assert_eq!(m.report().violations, 1);
+        assert_eq!(m.report().first_violation.map(|v| v.expected), Some(0));
     }
 }

@@ -113,6 +113,35 @@ impl SyncManager {
         self.barriers.values().map(|b| b.waiting.len()).sum::<usize>()
             + self.locks.values().map(|l| l.queue.len()).sum::<usize>()
     }
+
+    /// Appends a canonical encoding of barrier/lock occupancy to `out`,
+    /// remapping core indices through `map` (the model checker's
+    /// symmetry-reduction hook).
+    ///
+    /// Variables are emitted sorted by id; waiter lists and lock queues in
+    /// list order (arrival order is release order, so it is behavioral).
+    /// Arrival cycles are excluded — the checker abstracts timing.
+    pub fn encode_state(&self, out: &mut Vec<u64>, map: &mut dyn FnMut(usize) -> usize) {
+        let mut barrier_ids: Vec<u32> = self.barriers.keys().copied().collect();
+        barrier_ids.sort_unstable();
+        out.push(barrier_ids.len() as u64);
+        for id in barrier_ids {
+            let b = &self.barriers[&id];
+            out.push(u64::from(id));
+            out.push(b.waiting.len() as u64);
+            out.extend(b.waiting.iter().map(|&(c, _)| map(c.index()) as u64));
+        }
+        let mut lock_ids: Vec<u32> = self.locks.keys().copied().collect();
+        lock_ids.sort_unstable();
+        out.push(lock_ids.len() as u64);
+        for id in lock_ids {
+            let l = &self.locks[&id];
+            out.push(u64::from(id));
+            out.push(l.holder.map_or(u64::MAX, |c| map(c.index()) as u64));
+            out.push(l.queue.len() as u64);
+            out.extend(l.queue.iter().map(|&(c, _)| map(c.index()) as u64));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -4,10 +4,14 @@
 //! The build environment has no network access, so this crate implements
 //! random-input property testing with the same *surface* as proptest —
 //! the [`proptest!`] macro, range/tuple/`vec`/`prop_map` strategies,
-//! `prop_assert*`, [`prop_oneof!`] and [`ProptestConfig`] — but without
-//! input shrinking: a failing case reports its case number and seed
-//! instead of a minimized input. Seeds are derived from the test name, so
-//! runs are fully deterministic and failures reproduce.
+//! `prop_assert*`, [`prop_oneof!`] and [`ProptestConfig`] — plus basic
+//! input shrinking: when a case fails, the runner greedily walks the
+//! [`strategy::Strategy::shrink`] candidates (bounded by
+//! `max_shrink_iters`) and reports the smallest input that still fails.
+//! `prop_map`/`prop_oneof!` values are irreducible (no value tree), so
+//! shrinking stops at the composite level for those. Seeds are derived
+//! from the test name, so runs are fully deterministic and failures
+//! reproduce.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -30,6 +34,13 @@ pub mod bool {
         type Value = bool;
         fn sample(&self, rng: &mut crate::TestRng) -> bool {
             rand::Rng::gen::<bool>(rng)
+        }
+        fn shrink(&self, v: &bool) -> Vec<bool> {
+            if *v {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 }
@@ -54,14 +65,16 @@ impl std::fmt::Display for TestCaseError {
     }
 }
 
-/// Runner configuration. Only `cases` is interpreted; the other fields
-/// exist so `..ProptestConfig::default()` struct-update syntax from real
-/// proptest code keeps compiling.
+/// Runner configuration. `cases` and `max_shrink_iters` are interpreted;
+/// `max_global_rejects` exists so `..ProptestConfig::default()`
+/// struct-update syntax from real proptest code keeps compiling.
 #[derive(Clone, Debug)]
 pub struct ProptestConfig {
     /// Number of random cases each property runs.
     pub cases: u32,
-    /// Accepted for compatibility; shrinking is not implemented.
+    /// Budget of property re-runs the shrinker may spend minimizing a
+    /// failing input. `0` disables shrinking (the original failing input
+    /// is reported as-is).
     pub max_shrink_iters: u32,
     /// Accepted for compatibility; `prop_assume` rejections are not implemented.
     pub max_global_rejects: u32,
@@ -69,7 +82,61 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64, max_shrink_iters: 0, max_global_rejects: 1024 }
+        ProptestConfig { cases: 64, max_shrink_iters: 512, max_global_rejects: 1024 }
+    }
+}
+
+/// The runner behind [`proptest!`]: samples `cases` inputs from `strat`,
+/// runs `prop` on each, and on failure greedily shrinks the input before
+/// panicking with the minimal counterexample found.
+///
+/// Lives here (rather than inline in the macro) so the closure's argument
+/// type is pinned by this signature — tuple-pattern closure parameters
+/// don't infer on their own.
+///
+/// # Panics
+///
+/// Panics when `prop` fails for any sampled input, reporting the case
+/// number and the shrunken input.
+pub fn run_property<S>(
+    name: &str,
+    cfg: &ProptestConfig,
+    rng: &mut TestRng,
+    strat: &S,
+    prop: impl Fn(S::Value) -> Result<(), TestCaseError>,
+) where
+    S: strategy::Strategy,
+    S::Value: Clone + std::fmt::Debug,
+{
+    for case in 0..cfg.cases {
+        let mut vals = strat.sample(rng);
+        let mut err = match prop(vals.clone()) {
+            Ok(()) => continue,
+            Err(e) => e,
+        };
+        // Greedy descent: jump to the first shrink candidate that still
+        // fails, restart from there, stop when no candidate fails (local
+        // minimum) or the iteration budget runs out.
+        let mut iters: u32 = 0;
+        'shrinking: while iters < cfg.max_shrink_iters {
+            for cand in strat.shrink(&vals) {
+                iters += 1;
+                if let Err(e) = prop(cand.clone()) {
+                    vals = cand;
+                    err = e;
+                    continue 'shrinking;
+                }
+                if iters >= cfg.max_shrink_iters {
+                    break 'shrinking;
+                }
+            }
+            break;
+        }
+        panic!(
+            "property '{name}' failed at case {}/{}: {err}\nminimal failing input: {vals:?}",
+            case + 1,
+            cfg.cases,
+        );
     }
 }
 
@@ -113,17 +180,16 @@ macro_rules! __proptest_items {
         fn $name() {
             let __cfg: $crate::ProptestConfig = $cfg;
             let mut __rng = $crate::new_rng(concat!(module_path!(), "::", stringify!($name)));
-            for __case in 0..__cfg.cases {
-                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
-                let __result: ::std::result::Result<(), $crate::TestCaseError> =
-                    (|| { $body ::std::result::Result::Ok(()) })();
-                if let ::std::result::Result::Err(__e) = __result {
-                    panic!(
-                        "property '{}' failed at case {}/{}: {}",
-                        stringify!($name), __case + 1, __cfg.cases, __e
-                    );
-                }
-            }
+            // All arguments form one tuple strategy so the shrinker can
+            // minimize them jointly. Components sample in declaration
+            // order, identical to sampling each argument separately.
+            $crate::run_property(
+                stringify!($name),
+                &__cfg,
+                &mut __rng,
+                &($($strat,)+),
+                |($($arg,)+)| { $body ::std::result::Result::Ok(()) },
+            );
         }
         $crate::__proptest_items! { ($cfg) $($rest)* }
     };

@@ -5,13 +5,23 @@ use rand::Rng;
 
 /// A recipe for generating random values of `Self::Value`.
 ///
-/// Unlike real proptest there is no value tree / shrinking: a strategy is
-/// just a sampler. `sample` takes `&self` so strategies compose freely and
-/// can be boxed ([`boxed`], [`Union`]).
+/// Unlike real proptest there is no value tree: a strategy is a sampler
+/// plus an optional [`shrink`](Strategy::shrink) step proposing smaller
+/// variants of a failing value. `sample` takes `&self` so strategies
+/// compose freely and can be boxed ([`boxed`], [`Union`]).
 pub trait Strategy {
     type Value;
 
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of `v`, most aggressive first. The runner
+    /// greedily walks to the first candidate that still fails and repeats,
+    /// so candidates must stay inside the strategy's domain. The default —
+    /// no candidates — makes a value irreducible (`Just`, `prop_map`,
+    /// `prop_oneof!`, custom strategies).
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Maps sampled values through `f` (proptest's `prop_map`).
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
@@ -27,6 +37,9 @@ impl<T> Strategy for Box<dyn Strategy<Value = T>> {
     type Value = T;
     fn sample(&self, rng: &mut TestRng) -> T {
         (**self).sample(rng)
+    }
+    fn shrink(&self, v: &T) -> Vec<T> {
+        (**self).shrink(v)
     }
 }
 
@@ -91,12 +104,38 @@ impl<T> Strategy for Union<T> {
     }
 }
 
+/// Shrink candidates for a numeric value with lower bound `lo`: jump to
+/// the minimum, then halve the distance, then step down by one. Greedy
+/// first-failure descent over these converges in O(log v) retries.
+fn shrink_numeric<T>(lo: T, v: T) -> Vec<T>
+where
+    T: Copy + PartialOrd + PartialEq + core::ops::Add<Output = T> + core::ops::Sub<Output = T>,
+    T: From<u8> + core::ops::Div<Output = T>,
+{
+    let mut out = Vec::new();
+    if v > lo {
+        out.push(lo);
+        let mid = lo + (v - lo) / T::from(2u8);
+        if mid != lo && mid != v {
+            out.push(mid);
+        }
+        let prev = v - T::from(1u8);
+        if prev != lo && prev != mid {
+            out.push(prev);
+        }
+    }
+    out
+}
+
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for core::ops::Range<$t> {
             type Value = $t;
             fn sample(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                shrink_numeric(self.start, *v)
             }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
@@ -112,31 +151,46 @@ macro_rules! impl_range_strategy {
                     rng.gen_range(lo..hi + 1)
                 }
             }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                shrink_numeric(*self.start(), *v)
+            }
         }
     )*};
 }
 impl_range_strategy!(u8, u16, u32, u64, usize);
 
 macro_rules! impl_tuple_strategy {
-    ($($s:ident/$v:ident),+) => {
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
-                #[allow(non_snake_case)]
-                let ($($s,)+) = self;
-                ($($s.sample(rng),)+)
+                ($(self.$idx.sample(rng),)+)
+            }
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&v.$idx) {
+                        let mut c = v.clone();
+                        c.$idx = cand;
+                        out.push(c);
+                    }
+                )+
+                out
             }
         }
     };
 }
-impl_tuple_strategy!(A / a);
-impl_tuple_strategy!(A / a, B / b);
-impl_tuple_strategy!(A / a, B / b, C / c);
-impl_tuple_strategy!(A / a, B / b, C / c, D / d);
-impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
-impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
-impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g);
-impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g, H / h);
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
 
 /// `proptest::collection::vec(element, len_range)`.
 pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
@@ -149,11 +203,35 @@ pub struct VecStrategy<S> {
     len: core::ops::Range<usize>,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let n = rng.gen_range(self.len.clone());
         (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Structural shrinks first: drop one element (length stays in the
+        // strategy's range), front elements first so prefixes minimize.
+        if v.len() > self.len.start {
+            for i in 0..v.len() {
+                let mut c = v.clone();
+                c.remove(i);
+                out.push(c);
+            }
+        }
+        // Then element-wise shrinks, holding the shape fixed.
+        for (i, elem) in v.iter().enumerate() {
+            for cand in self.element.shrink(elem) {
+                let mut c = v.clone();
+                c[i] = cand;
+                out.push(c);
+            }
+        }
+        out
     }
 }
 
@@ -183,5 +261,49 @@ mod tests {
             prop_assert!(x % 2 == 0 && x < 10);
             prop_assert_eq!(b, b);
         }
+    }
+
+    // Not #[test]: invoked (and expected to panic) by the shrinking tests
+    // below.
+    crate::proptest! {
+        fn vec_len_property_that_fails(v in crate::collection::vec(0u8..10, 0..20)) {
+            prop_assert!(v.len() < 3);
+        }
+
+        fn numeric_property_that_fails(x in 0u64..1000, flag in crate::bool::ANY) {
+            prop_assert!(x < 100 || !flag);
+        }
+    }
+
+    fn panic_message(f: impl Fn() + std::panic::UnwindSafe) -> String {
+        let err = std::panic::catch_unwind(f).expect_err("property should fail");
+        err.downcast_ref::<String>().cloned().unwrap_or_default()
+    }
+
+    // A failing vec property minimizes to the shortest failing length with
+    // every element shrunk to the range minimum.
+    #[test]
+    fn shrinking_minimizes_vec_counterexamples() {
+        let msg = panic_message(vec_len_property_that_fails);
+        assert!(msg.contains("minimal failing input: ([0, 0, 0],)"), "got: {msg}");
+    }
+
+    // Numeric args descend to the smallest failing value; the bool that
+    // the failure needs stays true.
+    #[test]
+    fn shrinking_minimizes_numbers_and_keeps_needed_flags() {
+        let msg = panic_message(numeric_property_that_fails);
+        assert!(msg.contains("minimal failing input: (100, true)"), "got: {msg}");
+    }
+
+    #[test]
+    fn shrink_candidates_stay_in_range() {
+        let s = 3u64..17;
+        for v in 4..17 {
+            for c in s.shrink(&v) {
+                assert!(s.contains(&c) && c < v, "candidate {c} for {v}");
+            }
+        }
+        assert!(s.shrink(&3).is_empty());
     }
 }
