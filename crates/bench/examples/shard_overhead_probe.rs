@@ -1,0 +1,50 @@
+//! Dev probe for the `--shards 2` overhead: interleaved A/B timing of
+//! the exact workload the `end_to_end/shard_overhead` bench tracks,
+//! with per-phase breakdown via `LACC_SIM_PROFILE=1`.
+
+use lacc_bench::run_small_sharded;
+use lacc_workloads::Benchmark;
+
+fn main() {
+    let rounds: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(9);
+    let time_one = |shards: usize| {
+        let t = std::time::Instant::now();
+        std::hint::black_box(run_small_sharded(Benchmark::WaterSp, 8, 4, 0.05, shards));
+        t.elapsed().as_secs_f64() * 1e3
+    };
+    time_one(1);
+    time_one(2);
+    let mut serial = Vec::new();
+    let mut sharded = Vec::new();
+    for _ in 0..rounds {
+        serial.push(time_one(1));
+        sharded.push(time_one(2));
+    }
+    let med = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let (s, sh) = (med(&mut serial), med(&mut sharded));
+    println!("serial {s:.3} ms  sharded {sh:.3} ms  ratio {:.2}%", 100.0 * sh / s);
+    println!(
+        "min    {:.3} ms          {:.3} ms        {:.2}%",
+        serial[0],
+        sharded[0],
+        100.0 * sharded[0] / serial[0]
+    );
+
+    // Fixed-cost isolation: a near-empty workload is dominated by
+    // construction + drain, so the 1-vs-2 gap here is the per-run
+    // constant overhead rather than per-event cost.
+    let tiny = |shards: usize| {
+        let t = std::time::Instant::now();
+        for _ in 0..20 {
+            std::hint::black_box(run_small_sharded(Benchmark::WaterSp, 8, 4, 0.001, shards));
+        }
+        t.elapsed().as_secs_f64() * 1e3 / 20.0
+    };
+    tiny(1);
+    tiny(2);
+    let (t1, t2) = (tiny(1), tiny(2));
+    println!("tiny serial {t1:.3} ms  tiny sharded {t2:.3} ms  fixed gap {:.3} ms", t2 - t1);
+}

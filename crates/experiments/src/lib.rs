@@ -18,6 +18,9 @@
 //!   = the serial engine; `0` = one per available hardware thread).
 //!   Reports are byte-identical for any shard count — the serial engine
 //!   is the oracle (DESIGN.md §7);
+//! * `--shard-commit inline|concurrent` — how sharded runs harvest
+//!   their commit windows: on the coordinator (`inline`, default) or on
+//!   per-shard crew threads (`concurrent`). Byte-identical either way;
 //! * `--quiet` — suppress per-run progress lines;
 //! * `--no-monitor` — disable the shadow-memory coherence monitor
 //!   (large calibration sweeps; drops its per-access checking cost).
@@ -70,6 +73,10 @@ pub struct Cli {
     /// the serial engine, `0` = one shard per available hardware thread.
     /// Any value produces byte-identical reports.
     pub shards: usize,
+    /// `--shard-commit concurrent`: harvest shard windows on real crew
+    /// threads (`SimOptions::concurrent_commit`); `inline` (default)
+    /// harvests on the coordinator. Byte-identical either way.
+    pub concurrent_commit: bool,
     /// Suppress progress output.
     pub quiet: bool,
     /// Disable the coherence monitor (calibration sweeps).
@@ -84,6 +91,7 @@ impl Default for Cli {
             benches: Vec::new(),
             jobs: 0,
             shards: 1,
+            concurrent_commit: false,
             quiet: false,
             no_monitor: false,
         }
@@ -126,11 +134,22 @@ impl Cli {
                     i += 1;
                     cli.shards = args[i].parse().expect("--shards takes an integer (0 = auto)");
                 }
+                "--shard-commit" => {
+                    i += 1;
+                    cli.concurrent_commit = match args.get(i).map(String::as_str) {
+                        Some("concurrent") => true,
+                        Some("inline") => false,
+                        other => {
+                            panic!("--shard-commit takes 'inline' or 'concurrent', got {other:?}")
+                        }
+                    };
+                }
                 "--quiet" => cli.quiet = true,
                 "--no-monitor" => cli.no_monitor = true,
                 other => panic!(
                     "unknown flag '{other}' \
-                     (try --scale/--cores/--bench/--jobs/--shards/--quiet/--no-monitor)"
+                     (try --scale/--cores/--bench/--jobs/--shards/--shard-commit/--quiet/\
+                      --no-monitor)"
                 ),
             }
             i += 1;
@@ -164,7 +183,12 @@ impl Cli {
         } else {
             self.shards
         };
-        SimOptions { monitor: !self.no_monitor, shards, ..SimOptions::default() }
+        SimOptions {
+            monitor: !self.no_monitor,
+            shards,
+            concurrent_commit: self.concurrent_commit,
+            ..SimOptions::default()
+        }
     }
 
     /// Runs a sweep with this invocation's scale, verbosity, simulator

@@ -7,6 +7,12 @@
 //! local clock has run ahead of the event time are *replayed* — put back
 //! and rescheduled at the core's clock — so inter-core interleavings stay
 //! event-ordered (the lax synchronization of §4.1).
+//!
+//! These handlers run at *commit* time on every event plane: serial,
+//! windowed-sharded, and the model checker's choice plane all funnel
+//! through the same `dispatch`, so nothing here may observe how events
+//! were batched or harvested (DESIGN.md §7) — only `(cycle, seq)` commit
+//! order, which all planes keep identical.
 
 use lacc_core::classifier::RemovalReason;
 use lacc_core::l1::StoreOutcome;

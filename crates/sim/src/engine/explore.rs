@@ -113,7 +113,12 @@ impl Simulator {
         workload: Workload,
         fault: Option<FaultInjection>,
     ) -> Result<Self, ConfigError> {
-        let opts = SimOptions { monitor: true, panic_on_violation: false, shards: 1 };
+        let opts = SimOptions {
+            monitor: true,
+            panic_on_violation: false,
+            shards: 1,
+            concurrent_commit: false,
+        };
         let mut sim = Self::with_options(cfg, workload, opts)?;
         let mut plane = ChoicePlane::new();
         while let Some((at, ev)) = sim.events.pop() {

@@ -31,6 +31,7 @@
 //!   requests).
 
 pub mod explore;
+pub mod planecheck;
 pub mod queue;
 
 mod core_side;
@@ -58,7 +59,7 @@ use crate::trace::{TraceSource, Workload};
 
 use explore::{ChoicePlane, FaultInjection};
 use queue::CalendarQueue;
-use shard::{FeedHandle, FeedShared, ShardPlane, ShutdownGuard};
+use shard::{CrewShutdownGuard, FeedHandle, FeedShared, ShardPlane, ShutdownGuard};
 use state::{CoreState, TileState, TraceFeed, TxnArena, Waiters};
 
 pub(crate) const INSTR_PER_LINE: u64 = 8; // 64-byte line / 8-byte instruction
@@ -115,6 +116,7 @@ const _: () = {
 /// let opts = SimOptions::default();
 /// assert!(opts.monitor && opts.panic_on_violation);
 /// assert_eq!(opts.shards, 1); // serial engine
+/// assert!(!opts.concurrent_commit); // barriers harvest inline by default
 /// let sweep = SimOptions { monitor: false, shards: 4, ..SimOptions::default() };
 /// assert!(!sweep.monitor);
 /// ```
@@ -128,17 +130,25 @@ pub struct SimOptions {
     pub panic_on_violation: bool,
     /// Shards for the intra-simulation event plane (`--shards N`):
     /// tiles partition into `shards` contiguous blocks, each with its
-    /// own calendar queue and a trace-prefetch worker thread, exchanging
-    /// cross-shard events through window FIFOs. `1` (or `0`) is the
-    /// serial engine, untouched; any value is clamped to the number of
-    /// tiles. Every shard count produces **byte-identical** reports —
-    /// the serial engine is the oracle (see DESIGN.md §7).
+    /// own calendar queue, payload-slab arena and trace-prefetch worker
+    /// thread; commit proceeds in cycle windows harvested at barriers.
+    /// `1` (or `0`) is the serial engine, untouched; any value is
+    /// clamped to the number of tiles. Every shard count produces
+    /// **byte-identical** reports — the serial engine is the oracle
+    /// (see DESIGN.md §7).
     pub shards: usize,
+    /// Run the window-barrier harvests on per-shard worker threads
+    /// (`--shard-commit concurrent`) instead of inline on the
+    /// coordinator. Deterministic and byte-identical either way; the
+    /// concurrent mode buys overlap on multicore hosts and costs
+    /// condvar round-trips on single-CPU ones. `LACC_SHARD_COMMIT=
+    /// concurrent|inline` overrides this field. Ignored at `shards <= 1`.
+    pub concurrent_commit: bool,
 }
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { monitor: true, panic_on_violation: true, shards: 1 }
+        SimOptions { monitor: true, panic_on_violation: true, shards: 1, concurrent_commit: false }
     }
 }
 
@@ -219,6 +229,25 @@ pub struct Simulator {
     /// normal run; the model checker's mutation harness sets it through
     /// [`Simulator::for_exploration`]).
     pub(crate) fault: Option<FaultInjection>,
+    /// Committed (dispatched) events so far — the deterministic tie-break
+    /// the monitor stamps into violation records as `seq`.
+    pub(crate) committed: u64,
+    /// Self-time counters (`LACC_SIM_PROFILE=1`); `None` keeps the event
+    /// loop free of timer calls.
+    profile: Option<Box<ProfileCounters>>,
+}
+
+/// Wall-clock self-time by engine phase, printed at the end of a run
+/// when `LACC_SIM_PROFILE=1` (to stderr — stdout stays byte-identical
+/// for the determinism diffs). The phases index by [`Event`] kind.
+#[derive(Debug, Default)]
+struct ProfileCounters {
+    /// Nanoseconds inside `EventPlane::pop` (includes window barriers).
+    pop_ns: u64,
+    /// Nanoseconds dispatching [CoreStep, Deliver, HomeLookup].
+    phase_ns: [u64; 3],
+    /// Events dispatched per phase.
+    phase_events: [u64; 3],
 }
 
 // The experiment harness (`lacc_experiments::run_jobs`) dispatches whole
@@ -297,8 +326,21 @@ impl Simulator {
         // to the minimum cross-tile network latency (one mesh hop).
         let shards = options.shards.clamp(1, cfg.num_cores);
         let events = if shards > 1 {
-            let lookahead = cfg.hop_router_cycles + cfg.hop_link_cycles;
-            EventPlane::Sharded(Box::new(ShardPlane::new(cfg.num_cores, shards, lookahead)))
+            let lookahead = net.min_cross_tile_latency();
+            let concurrent = match std::env::var("LACC_SHARD_COMMIT").as_deref() {
+                Ok("concurrent") => true,
+                Ok("inline") => false,
+                Ok(other) => {
+                    panic!("LACC_SHARD_COMMIT must be 'concurrent' or 'inline', got {other:?}")
+                }
+                Err(_) => options.concurrent_commit,
+            };
+            EventPlane::Sharded(Box::new(ShardPlane::new(
+                cfg.num_cores,
+                shards,
+                lookahead,
+                concurrent,
+            )))
         } else {
             EventPlane::Serial(CalendarQueue::new())
         };
@@ -328,7 +370,10 @@ impl Simulator {
             ),
             counts: EnergyCounts::default(),
             energy_params: EnergyParams::isca13_11nm(),
-            slab: DataSlab::new(),
+            // One payload arena per shard: allocations land in the arena
+            // of the shard committing the event (`dispatch` points the
+            // home), handles stay pinned to their arena across shards.
+            slab: DataSlab::sharded(shards),
             backing: LineMap::default(),
             cores,
             tiles,
@@ -339,6 +384,8 @@ impl Simulator {
             active_cores: active,
             explore_now: 0,
             fault: None,
+            committed: 0,
+            profile: (std::env::var("LACC_SIM_PROFILE").as_deref() == Ok("1")).then(Box::default),
             cfg,
         };
         for c in 0..sim.cores.len() {
@@ -371,9 +418,39 @@ impl Simulator {
     }
 
     fn event_loop(&mut self) {
+        if self.profile.is_some() {
+            self.event_loop_profiled();
+            return;
+        }
         while let Some((now, ev)) = self.events.pop() {
             self.dispatch(ev, now);
         }
+    }
+
+    /// The `LACC_SIM_PROFILE=1` event loop: identical commit order, plus
+    /// two monotonic-clock reads per event charged to the pop (event
+    /// plane + barriers) and dispatch (handler) phases. A separate loop
+    /// keeps the hot path timer-free when profiling is off.
+    fn event_loop_profiled(&mut self) {
+        use std::time::Instant;
+        let mut mark = Instant::now();
+        while let Some((now, ev)) = self.events.pop() {
+            let popped = Instant::now();
+            let phase = match &ev {
+                Event::CoreStep(_) => 0,
+                Event::Deliver(_) => 1,
+                Event::HomeLookup { .. } => 2,
+            };
+            self.dispatch(ev, now);
+            let done = Instant::now();
+            let p = self.profile.as_mut().expect("profiled loop requires counters");
+            p.pop_ns += (popped - mark).as_nanos() as u64;
+            p.phase_ns[phase] += (done - popped).as_nanos() as u64;
+            p.phase_events[phase] += 1;
+            mark = done;
+        }
+        let p = self.profile.as_mut().expect("profiled loop requires counters");
+        p.pop_ns += mark.elapsed().as_nanos() as u64;
     }
 
     /// Executes one event at dispatch time `now` — the single transition
@@ -381,6 +458,14 @@ impl Simulator {
     /// (`Simulator::fire_choice`) drive, so the model checker exercises
     /// exactly the shipping handlers.
     pub(crate) fn dispatch(&mut self, ev: Event, now: Cycle) {
+        self.committed += 1;
+        self.monitor.set_event_seq(self.committed);
+        if let EventPlane::Sharded(p) = &self.events {
+            // Payload allocations made while committing this event land
+            // in the owning shard's slab arena (the plane precomputes
+            // the owner on its serve path).
+            self.slab.set_home(p.last_shard());
+        }
         match ev {
             Event::CoreStep(c) => self.step_core(c, now),
             Event::Deliver(msg) => self.deliver(msg, now),
@@ -407,41 +492,52 @@ impl Simulator {
             Ok("1") => true,
             _ => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) > 1,
         };
-        if !prefetch {
+        let EventPlane::Sharded(plane) = &self.events else { unreachable!("checked by run") };
+        let wants_crew = plane.wants_crew();
+        if !prefetch && !wants_crew {
             self.event_loop();
             return;
         }
-        let EventPlane::Sharded(plane) = &self.events else { unreachable!("checked by run") };
         let nshards = plane.num_shards();
-        let mut shard_cores: Vec<Vec<usize>> = vec![Vec::new(); nshards];
-        for c in 0..self.cores.len() {
-            if matches!(self.cores[c].trace, TraceFeed::Local(_)) {
-                shard_cores[plane.shard_of_tile(c)].push(c);
-            }
-        }
         // One entry per populated shard: the shared feed plus the trace
         // sources its worker thread will pump into it.
         type ShardFeed = (std::sync::Arc<FeedShared>, Vec<Box<dyn TraceSource>>);
         let mut workers: Vec<ShardFeed> = Vec::new();
-        for (s, cores) in shard_cores.iter().enumerate() {
-            if cores.is_empty() {
-                continue;
+        if prefetch {
+            let mut shard_cores: Vec<Vec<usize>> = vec![Vec::new(); nshards];
+            for c in 0..self.cores.len() {
+                if matches!(self.cores[c].trace, TraceFeed::Local(_)) {
+                    shard_cores[plane.shard_of_tile(c)].push(c);
+                }
             }
-            let feed = FeedShared::new(cores.len());
-            let mut sources = Vec::with_capacity(cores.len());
-            for (slot, &c) in cores.iter().enumerate() {
-                let prev = std::mem::replace(
-                    &mut self.cores[c].trace,
-                    TraceFeed::Ring(FeedHandle::new(feed.clone(), slot, s)),
-                );
-                let TraceFeed::Local(src) = prev else { unreachable!("selected Local above") };
-                // The run has not started, so the batching wrapper's
-                // refill buffer is empty; the worker adopts it whole and
-                // keeps pulling batches through `next_ops`.
-                sources.push(Box::new(src) as Box<dyn TraceSource>);
+            for (s, cores) in shard_cores.iter().enumerate() {
+                if cores.is_empty() {
+                    continue;
+                }
+                let feed = FeedShared::new(cores.len());
+                let mut sources = Vec::with_capacity(cores.len());
+                for (slot, &c) in cores.iter().enumerate() {
+                    let prev = std::mem::replace(
+                        &mut self.cores[c].trace,
+                        TraceFeed::Ring(FeedHandle::new(feed.clone(), slot, s)),
+                    );
+                    let TraceFeed::Local(src) = prev else { unreachable!("selected Local above") };
+                    // The run has not started, so the batching wrapper's
+                    // refill buffer is empty; the worker adopts it whole and
+                    // keeps pulling batches through `next_ops`.
+                    sources.push(Box::new(src) as Box<dyn TraceSource>);
+                }
+                workers.push((feed, sources));
             }
-            workers.push((feed, sources));
         }
+        // Concurrent commit: hand each shard's calendar queue to a
+        // harvest worker; the coordinator keeps only the merge state.
+        let crew = if wants_crew {
+            let EventPlane::Sharded(plane) = &mut self.events else { unreachable!("checked") };
+            plane.detach_workers()
+        } else {
+            Vec::new()
+        };
         std::thread::scope(|scope| {
             // Guards drop at scope-closure exit — normal or unwinding —
             // flagging shutdown and waking parked workers, so the scope
@@ -449,15 +545,43 @@ impl Simulator {
             // assert below) propagates instead of hanging the barrier.
             let _guards: Vec<ShutdownGuard> =
                 workers.iter().map(|(feed, _)| ShutdownGuard::new(feed.clone())).collect();
+            let _crew_guards: Vec<CrewShutdownGuard> =
+                crew.iter().map(|(shared, _)| CrewShutdownGuard::new(shared.clone())).collect();
             for (feed, sources) in workers.drain(..) {
                 scope.spawn(move || shard::run_feed_worker(&feed, sources));
+            }
+            for (shared, queue) in crew {
+                scope.spawn(move || shard::run_harvest_worker(&shared, queue));
             }
             self.event_loop();
         });
     }
 
     /// Post-drain checks and report construction.
-    fn finish(self) -> SimReport {
+    fn finish(mut self) -> SimReport {
+        if let Some(p) = self.profile.take() {
+            // Stderr only — stdout stays byte-identical with profiling on.
+            let ms = |ns: u64| ns as f64 / 1e6;
+            let (windows, scans, pending) = match &self.events {
+                EventPlane::Sharded(pl) => (pl.stats.windows, pl.stats.scans, pl.stats.pending),
+                _ => (0, 0, 0),
+            };
+            eprintln!(
+                "[lacc-sim-profile] workload={} events={} windows={} scans={scans} \
+                 pending={pending} pop_ms={:.3} \
+                 core_step: n={} ms={:.3} deliver: n={} ms={:.3} home_lookup: n={} ms={:.3}",
+                self.workload_name,
+                self.committed,
+                windows,
+                ms(p.pop_ns),
+                p.phase_events[0],
+                ms(p.phase_ns[0]),
+                p.phase_events[1],
+                ms(p.phase_ns[1]),
+                p.phase_events[2],
+                ms(p.phase_ns[2]),
+            );
+        }
         let stuck: Vec<usize> =
             (0..self.cores.len()).filter(|&c| !self.cores[c].finished).collect();
         assert!(
@@ -473,19 +597,28 @@ impl Simulator {
         // a leaked handle, fewer is an unaccounted owner (a double release
         // panics inside the slab long before this). `live()` can be
         // smaller than the owner count (aliased slots), never larger.
+        //
+        // The count is the sum of the per-shard arena ledgers: handles
+        // transfer ownership between arenas through messages, so no
+        // single ledger balances on its own, but the sum must.
         let resident_lines: usize =
             self.tiles.iter().map(|t| t.l1i.len() + t.l1d.len() + t.l2.len()).sum();
         let expected = resident_lines + self.backing.len();
+        let ledgers: Vec<u64> =
+            (0..self.slab.num_arenas()).map(|s| self.slab.ledger(s).outstanding()).collect();
+        let outstanding: u64 = ledgers.iter().sum();
         assert_eq!(
-            self.slab.total_refs(),
+            outstanding as usize,
             expected,
-            "data-slab handle leak: {} outstanding handles but {} owners \
-             ({} resident L1/L2 lines + {} backing-store entries)",
-            self.slab.total_refs(),
+            "data-slab handle leak: {} outstanding handles (per-shard ledgers {:?}) but \
+             {} owners ({} resident L1/L2 lines + {} backing-store entries)",
+            outstanding,
+            ledgers,
             expected,
             resident_lines,
             self.backing.len()
         );
+        debug_assert_eq!(outstanding as usize, self.slab.total_refs(), "ledger/refcount split");
         assert!(
             self.slab.live() <= expected,
             "data-slab leak: {} live slots exceed {} handle owners",

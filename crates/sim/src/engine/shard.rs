@@ -1,52 +1,69 @@
 //! The sharded event plane: tile partitioning, per-shard calendar
-//! queues, cross-shard FIFOs drained at cycle-window barriers, and the
-//! per-shard trace-prefetch workers.
+//! queues, window-barrier commit, and the per-shard trace-prefetch and
+//! harvest workers.
 //!
 //! `--shards N` partitions the tiles into `N` contiguous blocks. Each
-//! shard runs its own [`CalendarQueue`] for same-shard events; an event
-//! scheduled from one shard onto a tile of another crosses through a
-//! bounded FIFO that is drained only at window barriers. The
-//! conservative lookahead is the minimum cross-tile network latency
-//! (one mesh hop): a message injected at cycle `t` can never arrive at
-//! another tile before `t + lookahead`, so within a window
-//! `[start, start + lookahead)` no shard can receive a *network* event
-//! it cannot already see. The one exception in this engine is
-//! synchronization releases, which resume cores on other tiles at the
-//! *same* cycle (`SyncManager` wakes waiters with zero network
-//! latency); those take a direct sub-window path into the destination
-//! shard's inbound heap and are counted in [`ShardStats::direct`].
+//! shard owns a [`CalendarQueue`] holding the events destined for its
+//! tiles. Commit proceeds in **windows**: the plane finds the earliest
+//! queued cycle `m` (each queue's cursor is parked at its own head, so
+//! this is a plain minimum over the heads and the pending heap), opens
+//! the window `[m, m + lookahead)`, *harvests* every event below the
+//! window end out of the shard queues whose head falls inside it in one
+//! batch ([`CalendarQueue::pop_until`]), merges the batch by the global
+//! `(cycle, push seq)` key, and then serves the whole window without
+//! touching the shard queues again. Events pushed *during* the window
+//! (always at or after the committing cycle) route by destination:
+//! below the window end they join the coordinator's `pending` heap and
+//! are merged into the live window; at or beyond it they normally land
+//! in their destination shard's queue — unless that queue's cursor is
+//! parked beyond them (its head is far in the future), in which case
+//! the straggler also rides the pending heap. The conservative
+//! lookahead is the minimum cross-tile network latency
+//! ([`MeshNetwork::min_cross_tile_latency`]), so in-window pushes below
+//! the window end are rare (zero-latency sync releases and same-tile
+//! follow-ups); everything else takes the cheap calendar path.
+//! Correctness does **not** depend on the lookahead value — any event
+//! below the window end is by construction in `run` or `pending` when
+//! served — so the window size is purely a batching knob
+//! (`LACC_SHARD_WINDOW` overrides it for exactly that experiment).
+//!
+//! [`MeshNetwork::min_cross_tile_latency`]:
+//! lacc_net::MeshNetwork::min_cross_tile_latency
 //!
 //! ## Byte-exactness contract
 //!
 //! The plane replays the **exact global `(cycle, push sequence)` order**
 //! of the serial engine: every push is stamped with a global sequence
-//! number, and `pop` takes the minimum `(cycle, seq)` across all shard
-//! heads, draining the FIFOs before any pop may cross the current
-//! window horizon. Several timing models in this engine are
-//! order-sensitive global state — mesh link contention
-//! (`link_next_free` advances in injection order), `DataSlab`
-//! copy-on-write accounting (a `make_mut` decision reads the live
-//! refcount), the coherence monitor's shadow memory, and the zero-cycle
-//! sync releases above — so a free-running shard execution cannot be
-//! byte-identical to the serial oracle. The plane therefore keeps event
-//! *execution* sequenced on the coordinator thread and puts real
-//! parallelism where it is provably order-insensitive: trace decode.
-//! Each shard gets a prefetch worker that owns its cores'
-//! [`TraceSource`] streams (pure, `Send`, no simulator state) and
-//! decodes them into bounded per-core feeds ahead of the coordinator.
-//! DESIGN.md §7 documents the model and the follow-up path to
-//! order-insensitive timing state.
+//! number and every pop returns the minimum `(cycle, seq)` key still
+//! queued. Several timing models in this engine are order-sensitive
+//! global state — mesh link contention (`link_next_free` advances in
+//! injection order), `DataSlab` copy-on-write accounting (a `make_mut`
+//! decision reads the live refcount), the coherence monitor's shadow
+//! memory, and zero-cycle sync releases — so event *execution* stays
+//! sequenced on the coordinator thread. What the window protocol
+//! decentralizes is everything around it: event *storage* is
+//! partitioned per shard (as are the slab's payload arenas), the
+//! per-pop global coordination of the old replay plane collapses into
+//! one head-minimum and one batched harvest per *window*, and with
+//! `concurrent` commit the harvest itself runs on per-shard worker
+//! threads that own their queues outright — the coordinator only
+//! exchanges window-sized batches with them at barriers. Trace decode
+//! is prefetched the same way (pure, `Send`, no simulator state) into
+//! bounded per-core feeds. DESIGN.md §7 documents the protocol and why
+//! the commit loop itself stays sequenced.
 //!
 //! ## Failure containment
 //!
-//! A panic on either side of a feed cannot hang the other. Worker
-//! bodies run under `catch_unwind`: a panicking trace source poisons
-//! the feed (storing its message) and wakes the coordinator, whose next
-//! pull re-raises it as a panic naming the shard. A panicking
-//! coordinator (e.g. the deadlock assert in `Simulator::run`) drops a
-//! [`ShutdownGuard`] during unwind, which sets the shutdown flag and
-//! wakes every parked worker so the thread scope joins cleanly and the
-//! original panic — with its job label, under `run_jobs` — propagates.
+//! A panic on either side of a feed or harvest channel cannot hang the
+//! other. Worker bodies run under `catch_unwind`: a panicking trace
+//! source or harvest worker poisons its channel (storing the message)
+//! and wakes the coordinator, whose next pull re-raises it as a panic
+//! naming the shard. A panicking coordinator (e.g. the deadlock assert
+//! in `Simulator::run`) drops its [`ShutdownGuard`]s /
+//! [`CrewShutdownGuard`]s during unwind, which set the shutdown flags
+//! and wake every parked worker so the thread scope joins cleanly and
+//! the original panic — with its job label, under `run_jobs` —
+//! propagates.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -57,7 +74,7 @@ use lacc_model::Cycle;
 
 use crate::trace::{TraceOp, TraceSource};
 
-use super::queue::CalendarQueue;
+use super::queue::{CalendarQueue, WINDOW};
 use super::Event;
 
 /// Ops buffered ahead per core by a prefetch worker.
@@ -70,6 +87,13 @@ const FEED_BATCH: usize = 64;
 /// syscall per op, which crushes single-CPU hosts — and pops shrink the
 /// queue one op at a time, so the crossing cannot be skipped.
 const REFILL_MARK: usize = FEED_CAPACITY - FEED_BATCH;
+
+/// How far past the window end a harvest's head-peek looks before
+/// reporting the head unknown, and the initial span of a head probe.
+/// One wheel width: almost every real head is within it, and an
+/// unknown head only costs a wider (doubling) probe at the next
+/// window open.
+const PROBE_SPAN: Cycle = WINDOW as Cycle;
 
 /// Tile → shard map: `shards` contiguous, balanced blocks. Contiguous
 /// blocks keep a tile's nearest mesh neighbours (and therefore most of
@@ -105,9 +129,9 @@ impl Ord for Stamped {
     }
 }
 
-/// A sequence-stamped entry in a shard's local calendar queue.
+/// A sequence-stamped entry in a shard's calendar queue.
 #[derive(Debug)]
-struct SeqEv {
+pub(crate) struct SeqEv {
     seq: u64,
     ev: Event,
 }
@@ -117,12 +141,34 @@ struct SeqEv {
 /// to the serial oracle at any shard count).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub(crate) struct ShardStats {
-    /// Cross-shard events routed through a window FIFO.
-    pub crossings: u64,
-    /// Window barriers at which the FIFOs drained.
+    /// Commit windows opened.
     pub windows: u64,
-    /// Sub-window cross-shard deliveries (the sync-release valve).
-    pub direct: u64,
+    /// Events batch-harvested out of the shard calendars at barriers.
+    pub harvested: u64,
+    /// Events routed through the coordinator's pending heap (in-window
+    /// pushes — sync releases, same-cycle follow-ups — plus straggler
+    /// pushes landing behind a parked shard cursor, in either commit
+    /// mode).
+    pub pending: u64,
+    /// Inline-mode full scans (run re-arms): pops *not* served by a
+    /// live run's fast path. The ratio against total pops is the
+    /// plane's merge-amortization factor.
+    pub scans: u64,
+}
+
+/// The coordinator's knowledge of one detached (worker-owned) shard
+/// queue under concurrent commit.
+#[derive(Clone, Copy, Debug, Default)]
+struct ShardView {
+    /// Exact earliest cycle queued, when known (exactly: the last
+    /// reported head that has not been harvested since).
+    head: Option<Cycle>,
+    /// The queue's parked cursor: no queued event is earlier, and a
+    /// push below it must route through `pending` instead.
+    parked: Cycle,
+    /// Events in the queue (exact: replies report it, outbox transfers
+    /// add to it).
+    len: usize,
 }
 
 /// The sharded event plane. Drop-in replacement for the engine's single
@@ -133,51 +179,107 @@ pub(crate) struct ShardPlane {
     /// Tile → shard.
     shard_of: Vec<u16>,
     nshards: usize,
-    /// Per-shard calendar queue for in-shard events.
+    /// Per-shard calendar queue (inline commit; drained into the
+    /// harvest crew by [`ShardPlane::detach_workers`] under concurrent
+    /// commit).
     locals: Vec<CalendarQueue<SeqEv>>,
-    /// Per-shard inbound heap: drained FIFO batches, sub-window direct
-    /// deliveries, and in-shard events landing behind the local queue's
-    /// cursor (a shard woken by an inbound event schedules follow-ups
-    /// earlier than its parked calendar head).
-    inbound: Vec<BinaryHeap<Reverse<Stamped>>>,
-    /// Cross-shard FIFOs, indexed `src * nshards + dst`.
-    fifos: Vec<VecDeque<Stamped>>,
-    fifo_len: usize,
+    /// Cached `(cycle, seq)` minimum of each local queue (`None` when
+    /// empty) — maintained on every push and pop, so the inline serve
+    /// loop reads the global minimum from `nshards` words instead of
+    /// re-peeking queues. The entry for `run_shard` goes stale while a
+    /// run is live (its queue is popped directly) and is re-peeked at
+    /// the next scan. Unused once the queues detach to a crew.
+    heads: Vec<Option<(Cycle, u64)>>,
+    /// Fast-serve run (inline mode): while `run_live`, pops come
+    /// straight off `locals[run_shard]` for as long as their key stays
+    /// below `run_limit` — the minimum competing `(cycle, seq)` at the
+    /// last full scan. A push or pending entry that undercuts the limit
+    /// clears the run; the scan path re-ranks and re-arms. This is what
+    /// amortizes the cross-shard merge: uncontended stretches cost one
+    /// bounded pop and two compares per event instead of a head scan.
+    run_shard: usize,
+    run_limit: (Cycle, u64),
+    run_live: bool,
+    /// Whether `heads[run_shard]` is stale (fast-path pops bypass the
+    /// cache). The fast path's fall-through refreshes the cache from
+    /// the peek it already paid for; the scan re-peeks only when this
+    /// is still set (push invalidation, pending undercut).
+    run_stale: bool,
+    /// The shard that owned the last popped event — the committing
+    /// shard's identity, exposed so the engine can point the slab's
+    /// home arena without re-deriving owner tile → shard per event.
+    last_shard: usize,
+    /// The merged current window, sorted by `(cycle, seq)` descending —
+    /// the head is popped off the back.
+    run: Vec<Stamped>,
+    /// In-window events: pushes below the window end while the window
+    /// commits, merged with `run` at pop.
+    pending: BinaryHeap<Reverse<Stamped>>,
     /// Global push counter — the serial tie-break, replayed exactly.
     seq: u64,
-    /// Conservative lookahead: minimum cross-tile network latency.
+    /// Window width: minimum cross-tile network latency (or the
+    /// `LACC_SHARD_WINDOW` override — a batching knob, not a
+    /// correctness bound).
     lookahead: Cycle,
-    /// Events before this cycle are all visible (no FIFO can hide one).
+    /// Events before this cycle are all in `run` or `pending`.
     window_end: Cycle,
-    /// Shard of the event currently being executed (`None` during
-    /// setup, where pushes are in-shard by definition).
-    cur_shard: Option<usize>,
-    /// Scratch buffer for the head race (one flag per shard).
+    /// Scratch involvement mask for the concurrent window open (one
+    /// flag per shard), latched before any harvest command goes out.
     race_resolved: Vec<bool>,
+    /// Whether commit barriers hand harvest work to the crew threads.
+    concurrent: bool,
+    /// Per-shard harvest channels (empty until
+    /// [`ShardPlane::detach_workers`]).
+    crew: Vec<Arc<HarvestShared>>,
+    /// Coordinator-side buffers of events bound for detached queues,
+    /// shipped with the next harvest command.
+    outbox: Vec<Vec<(Cycle, SeqEv)>>,
+    /// Earliest cycle in each outbox (`Cycle::MAX` when empty).
+    outbox_min: Vec<Cycle>,
+    /// What the coordinator knows about each detached queue.
+    views: Vec<ShardView>,
     /// Self-check oracle (`LACC_SHARD_SHADOW=1`): mirrors every push in
     /// a reference heap and asserts each pop is the exact global
     /// `(cycle, seq)` minimum — the plane's contract, checked in-run
-    /// rather than post-hoc through report bytes. Off (None) it costs
-    /// one branch per push/pop.
+    /// rather than post-hoc through report bytes. Works in both commit
+    /// modes (pushes and pops both happen on the coordinator). Off
+    /// (None) it costs one branch per push/pop.
     shadow: Option<BinaryHeap<Reverse<(Cycle, u64)>>>,
     pub stats: ShardStats,
 }
 
 impl ShardPlane {
-    pub fn new(num_tiles: usize, shards: usize, lookahead: Cycle) -> Self {
+    pub fn new(num_tiles: usize, shards: usize, lookahead: Cycle, concurrent: bool) -> Self {
         let shards = shards.clamp(1, num_tiles);
+        let lookahead = match std::env::var("LACC_SHARD_WINDOW") {
+            Ok(v) => v
+                .parse::<Cycle>()
+                .ok()
+                .filter(|&w| w >= 1)
+                .unwrap_or_else(|| panic!("LACC_SHARD_WINDOW must be a positive cycle count")),
+            Err(_) => lookahead.max(1),
+        };
         ShardPlane {
             shard_of: partition(num_tiles, shards),
             nshards: shards,
             locals: (0..shards).map(|_| CalendarQueue::new()).collect(),
-            inbound: (0..shards).map(|_| BinaryHeap::new()).collect(),
-            fifos: (0..shards * shards).map(|_| VecDeque::new()).collect(),
-            fifo_len: 0,
+            heads: vec![None; shards],
+            run_shard: 0,
+            run_limit: (0, 0),
+            run_live: false,
+            run_stale: false,
+            last_shard: 0,
+            run: Vec::new(),
+            pending: BinaryHeap::new(),
             seq: 0,
-            lookahead: lookahead.max(1),
+            lookahead,
             window_end: 0,
-            cur_shard: None,
             race_resolved: vec![false; shards],
+            concurrent,
+            crew: Vec::new(),
+            outbox: (0..shards).map(|_| Vec::new()).collect(),
+            outbox_min: vec![Cycle::MAX; shards],
+            views: vec![ShardView::default(); shards],
             shadow: (std::env::var("LACC_SHARD_SHADOW").as_deref() == Ok("1"))
                 .then(BinaryHeap::new),
             stats: ShardStats::default(),
@@ -192,6 +294,35 @@ impl ShardPlane {
         usize::from(self.shard_of[tile])
     }
 
+    /// The shard that owned the event the last `pop` returned —
+    /// `shard_of_tile(ev.owner_tile())` for that event, precomputed on
+    /// the serve path so the engine's dispatch doesn't re-derive it.
+    pub fn last_shard(&self) -> usize {
+        self.last_shard
+    }
+
+    /// Whether this plane wants a harvest crew
+    /// ([`ShardPlane::detach_workers`] + [`run_harvest_worker`]).
+    pub fn wants_crew(&self) -> bool {
+        self.concurrent
+    }
+
+    /// Moves the shard queues out to their harvest workers and returns
+    /// one `(channel, queue)` pair per shard for the caller to spawn.
+    /// After this, every barrier harvest goes through the crew.
+    pub fn detach_workers(&mut self) -> Vec<(Arc<HarvestShared>, CalendarQueue<SeqEv>)> {
+        assert!(self.concurrent && self.crew.is_empty(), "crew detaches once");
+        let mut out = Vec::with_capacity(self.nshards);
+        for q in std::mem::take(&mut self.locals) {
+            let shared = Arc::new(HarvestShared::new());
+            self.crew.push(shared.clone());
+            self.views.push(ShardView { head: None, parked: q.now(), len: q.len() });
+            out.push((shared, q));
+        }
+        self.views.drain(..self.nshards);
+        out
+    }
+
     pub fn push(&mut self, at: Cycle, ev: Event) {
         let seq = self.seq;
         self.seq += 1;
@@ -199,166 +330,549 @@ impl ShardPlane {
             sh.push(Reverse((at, seq)));
         }
         let dst = self.shard_of_tile(ev.owner_tile());
-        match self.cur_shard {
-            Some(src) if src != dst => {
-                if at < self.window_end {
-                    // A cross-shard delivery inside the current window:
-                    // only zero-latency sync releases get here (network
-                    // hops are >= lookahead by construction). It must
-                    // stay visible — hiding it in a FIFO would let the
-                    // destination shard run past it.
-                    self.stats.direct += 1;
-                    self.inbound[dst].push(Reverse(Stamped { at, seq, ev }));
-                } else {
-                    self.stats.crossings += 1;
-                    self.fifos[src * self.nshards + dst].push_back(Stamped { at, seq, ev });
-                    self.fifo_len += 1;
-                }
-            }
-            _ => {
-                // In-shard (or setup). The local calendar's cursor may
-                // have been peeked ahead to its parked head; an event
-                // landing behind it goes to the inbound heap, which
-                // orders by the same global (cycle, seq) key.
-                if at < self.locals[dst].now() {
-                    self.inbound[dst].push(Reverse(Stamped { at, seq, ev }));
-                } else {
-                    self.locals[dst].push(at, SeqEv { seq, ev });
-                }
-            }
-        }
-    }
-
-    /// The earliest visible `(cycle, seq)` key and where it lives.
-    ///
-    /// Inbound heads are exact and free to read. The local calendars are
-    /// *raced*: repeatedly bound-peek the queue with the lowest cursor,
-    /// limited by the next-lowest cursor and the best candidate so far.
-    /// The bound is what keeps every cursor at or below the global
-    /// now + 1 — an unbounded peek would park a cursor at its own
-    /// (possibly far-future) head, diverting every follow-up event
-    /// scheduled behind it into the inbound heap and turning the cheap
-    /// calendar path into heap churn.
-    fn head(&mut self) -> Option<(Cycle, u64, usize, bool)> {
-        let mut best: Option<(Cycle, u64, usize, bool)> = None;
-        for s in 0..self.nshards {
-            if let Some(Reverse(st)) = self.inbound[s].peek() {
-                if best.map_or(true, |b| (st.at, st.seq) < (b.0, b.1)) {
-                    best = Some((st.at, st.seq, s, true));
-                }
-            }
-        }
-        self.race_resolved.fill(false);
-        loop {
-            // The unresolved local with the lowest cursor still able to
-            // beat `best` (ties included: an equal-cycle local head can
-            // win on seq), plus the runner-up cursor as its bound.
-            let mut winner: Option<usize> = None;
-            let mut low = Cycle::MAX;
-            let mut second = Cycle::MAX;
-            for s in 0..self.nshards {
-                if self.race_resolved[s] || self.locals[s].is_empty() {
-                    continue;
-                }
-                let c = self.locals[s].now();
-                if best.is_some_and(|b| c > b.0) {
-                    continue;
-                }
-                if c < low {
-                    second = low;
-                    low = c;
-                    winner = Some(s);
-                } else if c < second {
-                    second = c;
-                }
-            }
-            let Some(s) = winner else { return best };
-            let limit = second.min(best.map_or(Cycle::MAX, |b| b.0));
-            if let Some((at, se)) = self.locals[s].peek_until(limit) {
-                if best.map_or(true, |b| (at, se.seq) < (b.0, b.1)) {
-                    best = Some((at, se.seq, s, false));
-                }
-                self.race_resolved[s] = true;
-            }
-            // A `None` peek parked the cursor at `limit + 1`; the next
-            // iteration re-ranks, and the loop terminates because every
-            // step either resolves a shard or strictly raises a cursor
-            // toward the candidate cycle.
-        }
-    }
-
-    /// Window barrier: every FIFO drains into its destination shard's
-    /// inbound heap.
-    fn drain_fifos(&mut self) {
-        self.stats.windows += 1;
-        for idx in 0..self.fifos.len() {
-            let dst = idx % self.nshards;
-            while let Some(st) = self.fifos[idx].pop_front() {
-                self.fifo_len -= 1;
-                // Prefer the destination calendar (O(1)) over the
-                // inbound heap: safe whenever the within-cycle seq
-                // order is preserved by appending. A same-cycle tail
-                // with a later seq (an in-shard push that slipped in
-                // while this event sat in the FIFO, or another FIFO's
-                // earlier drain) falls back to the heap, whose explicit
-                // (cycle, seq) order always merges correctly.
-                let Stamped { at, seq, ev } = st;
-                match self.locals[dst].push_if_ordered(at, SeqEv { seq, ev }, |tail| tail.seq < seq)
-                {
-                    Ok(()) => {}
-                    Err(se) => {
-                        self.inbound[dst].push(Reverse(Stamped { at, seq: se.seq, ev: se.ev }));
+        if self.crew.is_empty() {
+            // Inline serve: the queues stay live through the window, so
+            // the only push a destination queue cannot take in order is
+            // one behind its parked cursor (its head is in the future).
+            // The pending heap orders those stragglers explicitly.
+            if at < self.locals[dst].now() {
+                self.stats.pending += 1;
+                self.pending.push(Reverse(Stamped { at, seq, ev }));
+            } else {
+                // A later push at the head's own cycle has a higher
+                // seq, so the cache only moves on strictly lower cycles
+                // — and, for the same reason, a push can only undercut
+                // a live run's limit with a strictly lower cycle, which
+                // lands in this branch (run_limit is bounded by every
+                // competing head).
+                if self.heads[dst].map_or(true, |(h, _)| at < h) {
+                    self.heads[dst] = Some((at, seq));
+                    if self.run_live && dst != self.run_shard && at < self.run_limit.0 {
+                        self.run_live = false;
                     }
                 }
+                self.locals[dst].push(at, SeqEv { seq, ev });
             }
+        } else if at < self.window_end {
+            // An in-window push: the committing window is already
+            // harvested out of the worker-owned queues, and the event
+            // must be visible to it anyway. Merge it at the coordinator.
+            self.stats.pending += 1;
+            self.pending.push(Reverse(Stamped { at, seq, ev }));
+        } else if at < self.views[dst].parked {
+            // The destination queue's cursor was probed past this cycle;
+            // pushing would violate its monotonicity. The pending heap
+            // orders explicitly, so it absorbs the stragglers.
+            self.stats.pending += 1;
+            self.pending.push(Reverse(Stamped { at, seq, ev }));
+        } else {
+            self.outbox[dst].push((at, SeqEv { seq, ev }));
+            self.outbox_min[dst] = self.outbox_min[dst].min(at);
+            self.views[dst].len += 1;
         }
     }
 
     pub fn pop(&mut self) -> Option<(Cycle, Event)> {
-        loop {
-            match self.head() {
-                None if self.fifo_len == 0 => return None,
-                None => {
-                    self.drain_fifos();
-                }
-                Some((at, _, _, _)) if at >= self.window_end && self.fifo_len > 0 => {
-                    // A FIFO may hide an event in [window_end, at):
-                    // barrier before crossing the horizon.
-                    self.drain_fifos();
-                }
-                Some((at, seq, s, from_inbound)) => {
-                    if at >= self.window_end {
-                        // Every FIFO is empty, so the head is exact:
-                        // open the next window at the earliest pending
-                        // cycle and pop that same head without a second
-                        // race. Invariant: window_end <= now + lookahead
-                        // at every subsequent pop inside the window, so
-                        // any network send still lands at or past
-                        // window_end and is FIFO-routable.
-                        self.window_end = at + self.lookahead;
-                    }
-                    self.cur_shard = Some(s);
-                    let ev = if from_inbound {
-                        let Reverse(st) = self.inbound[s].pop().expect("cached head");
-                        debug_assert_eq!(st.at, at);
-                        st.ev
-                    } else {
-                        let (c, se) = self.locals[s].pop().expect("cached head");
-                        debug_assert_eq!(c, at);
-                        se.ev
-                    };
-                    if let Some(sh) = self.shadow.as_mut() {
-                        let Reverse(want) = sh.pop().expect("shadow tracks pushes");
-                        assert_eq!(
-                            (at, seq),
-                            want,
-                            "plane popped out of order (shard {s}, inbound {from_inbound})"
-                        );
-                    }
-                    return Some((at, ev));
+        if self.concurrent {
+            self.pop_batch()
+        } else {
+            self.pop_inline()
+        }
+    }
+
+    /// Inline serve: the global `(cycle, seq)` minimum, read directly
+    /// off the cached queue heads and the pending heap — no batch is
+    /// materialized. Pops come in two gears. While a *run* is live
+    /// (armed by the last full scan), the winner shard's events are
+    /// served straight off its queue for as long as their key stays
+    /// below `run_limit` — one peek-and-pop plus two compares per
+    /// event, which is the serial engine's own cost. A push or
+    /// pending entry undercutting the limit drops back to the scan,
+    /// which re-ranks every source and re-arms. The window machinery
+    /// still runs underneath: `window_end` advances in `lookahead`
+    /// steps as commit crosses each boundary, and the push path routes
+    /// stragglers behind a parked cursor through `pending`.
+    fn pop_inline(&mut self) -> Option<(Cycle, Event)> {
+        if self.run_live {
+            // Stragglers merge through the pending heap and can order
+            // before the run's next event; one root peek guards that.
+            if let Some(Reverse(p)) = self.pending.peek() {
+                if (p.at, p.seq) < self.run_limit {
+                    self.run_live = false;
                 }
             }
         }
+        if self.run_live {
+            // Serve the run queue's head while it beats the limit key,
+            // in one fused cursor walk. The walk advances the cursor
+            // only to the head's own cycle (never past it), so pushes
+            // behind the limit still enter the queue in order and the
+            // cursor stays bounded by real event cycles.
+            let limit = self.run_limit;
+            if let Some((at, se)) = self.locals[self.run_shard].pop_if(|c, e| (c, e.seq) < limit) {
+                self.run_stale = true;
+                self.last_shard = self.run_shard;
+                return Some(self.serve(at, se.seq, se.ev, false));
+            }
+            // Head lost to the limit or the queue is empty. The cursor
+            // is parked at the head, so the scan's re-peek (when
+            // `run_stale`) is a constant-time lookup.
+            self.run_live = false;
+        }
+        self.pop_inline_scan()
+    }
+
+    /// The slow gear of [`ShardPlane::pop_inline`]: re-ranks every
+    /// source, serves the global minimum, and arms the next run.
+    fn pop_inline_scan(&mut self) -> Option<(Cycle, Event)> {
+        self.stats.scans += 1;
+        // The run shard's cached head goes stale while a run serves its
+        // queue directly; re-peek it before ranking (unless the fast
+        // path's fall-through already refreshed it).
+        if self.run_stale {
+            self.heads[self.run_shard] =
+                self.locals[self.run_shard].peek().map(|(c, e)| (c, e.seq));
+            self.run_stale = false;
+        }
+        let mut winner = self.pending.peek().map(|Reverse(st)| (st.at, st.seq));
+        let mut from: Option<usize> = None;
+        for s in 0..self.nshards {
+            if let Some(h) = self.heads[s] {
+                if winner.map_or(true, |w| h < w) {
+                    winner = Some(h);
+                    from = Some(s);
+                }
+            }
+        }
+        if winner.is_none() {
+            return self.finished();
+        }
+        if let Some(s) = from {
+            // A cursor parked at the cached head's cycle means the head
+            // is the front of the cursor's own bucket (far events are
+            // always ≥ cursor + WINDOW), so the advance can be skipped.
+            let (at, se) = if self.heads[s].expect("ranked winner").0 == self.locals[s].now() {
+                self.locals[s].pop_peeked()
+            } else {
+                self.locals[s].pop().expect("cached head tracks the queue")
+            };
+            self.run_shard = s;
+            self.run_stale = true;
+            self.last_shard = s;
+            // Arm the next run: everything in `s` strictly below the
+            // best competing key can be served without rescanning. The
+            // limit only shrinks via pushes at strictly lower cycles
+            // (seq counters are monotonic), which the push path and the
+            // pending peek above both watch for.
+            let mut limit =
+                self.pending.peek().map_or((Cycle::MAX, u64::MAX), |Reverse(p)| (p.at, p.seq));
+            for (o, h) in self.heads.iter().enumerate() {
+                if o != s {
+                    if let Some(h) = *h {
+                        if h < limit {
+                            limit = h;
+                        }
+                    }
+                }
+            }
+            self.run_limit = limit;
+            self.run_live = limit.0 > at;
+            Some(self.serve(at, se.seq, se.ev, false))
+        } else {
+            let Reverse(st) = self.pending.pop().expect("peeked head");
+            self.last_shard = self.shard_of_tile(st.ev.owner_tile());
+            Some(self.serve(st.at, st.seq, st.ev, true))
+        }
+    }
+
+    /// Commit bookkeeping shared by both inline gears: window
+    /// accounting, stats, and the shadow-order check.
+    #[inline]
+    fn serve(&mut self, at: Cycle, seq: u64, ev: Event, from_pending: bool) -> (Cycle, Event) {
+        if at >= self.window_end {
+            // Commit crossed the window boundary: everything below the
+            // old horizon is served, open the next window at the head.
+            self.window_end = at + self.lookahead;
+            self.stats.windows += 1;
+        }
+        if !from_pending {
+            self.stats.harvested += 1;
+        }
+        if let Some(sh) = self.shadow.as_mut() {
+            let Reverse(want) = sh.pop().expect("shadow tracks pushes");
+            assert_eq!((at, seq), want, "plane popped out of order (pending {from_pending})");
+        }
+        (at, ev)
+    }
+
+    /// Batched serve (concurrent commit): windows are harvested whole
+    /// at barriers into `run` and merged with `pending` per pop.
+    fn pop_batch(&mut self) -> Option<(Cycle, Event)> {
+        loop {
+            let run_head = self.run.last().map(|st| (st.at, st.seq));
+            let pend_head = self.pending.peek().map(|Reverse(st)| (st.at, st.seq));
+            let (key, from_pending) = match (run_head, pend_head) {
+                (Some(r), Some(p)) => {
+                    if p < r {
+                        (p, true)
+                    } else {
+                        (r, false)
+                    }
+                }
+                (Some(r), None) => (r, false),
+                (None, Some(p)) => (p, true),
+                (None, None) => {
+                    if self.open_window() {
+                        continue;
+                    }
+                    return self.finished();
+                }
+            };
+            // Run events are below the window end by construction; only
+            // a pending head (a push parked behind a shard cursor, in
+            // either commit mode) can sit beyond it and must wait for
+            // its window.
+            if key.0 >= self.window_end {
+                debug_assert!(run_head.is_none());
+                let opened = self.open_window();
+                debug_assert!(opened, "pending head must seed a window");
+                continue;
+            }
+            let st = if from_pending {
+                self.pending.pop().expect("peeked head").0
+            } else {
+                self.run.pop().expect("peeked head")
+            };
+            if let Some(sh) = self.shadow.as_mut() {
+                let Reverse(want) = sh.pop().expect("shadow tracks pushes");
+                assert_eq!(
+                    (st.at, st.seq),
+                    want,
+                    "plane popped out of order (pending {from_pending})"
+                );
+            }
+            self.last_shard = self.shard_of_tile(st.ev.owner_tile());
+            return Some((st.at, st.ev));
+        }
+    }
+
+    /// Everything drained: cross-check the shadow oracle (a queued push
+    /// the plane lost would strand its shadow entry) and report the end.
+    fn finished(&mut self) -> Option<(Cycle, Event)> {
+        debug_assert!(self.pending.is_empty() && self.run.is_empty());
+        if let Some(sh) = &self.shadow {
+            assert!(sh.is_empty(), "plane lost {} event(s) the shadow still tracks", sh.len());
+        }
+        None
+    }
+
+    /// Finds the earliest queued cycle `m`, opens `[m, m + lookahead)`
+    /// and harvests it into `run` via the crew. Returns `false` when
+    /// nothing is queued anywhere.
+    fn open_window(&mut self) -> bool {
+        debug_assert!(!self.crew.is_empty(), "batched serve requires a detached crew");
+        let harvested = self.open_window_concurrent();
+        if harvested {
+            self.stats.windows += 1;
+        }
+        harvested
+    }
+
+    /// Concurrent window open: establish the minimum cycle from the
+    /// pending heap, the outboxes and the workers' reported heads
+    /// (probing unknown queues in deterministic bounded rounds), then
+    /// hand each involved worker its harvest — inbox transfer, window
+    /// drain, next-head peek — and merge the replies. The commands for
+    /// one barrier go out to every worker before any reply is awaited,
+    /// so the per-shard drains overlap on real cores.
+    fn open_window_concurrent(&mut self) -> bool {
+        let mut span = PROBE_SPAN;
+        let m = loop {
+            let mut cand = self.pending.peek().map(|Reverse(st)| st.at);
+            let mut unknown = Cycle::MAX; // lowest cursor among unknown heads
+            for s in 0..self.nshards {
+                if self.outbox_min[s] != Cycle::MAX {
+                    cand = Some(cand.map_or(self.outbox_min[s], |c| c.min(self.outbox_min[s])));
+                }
+                match self.views[s].head {
+                    Some(h) => cand = Some(cand.map_or(h, |c| c.min(h))),
+                    None if self.views[s].len > self.outbox[s].len() => {
+                        unknown = unknown.min(self.views[s].parked);
+                    }
+                    None => {}
+                }
+            }
+            match cand {
+                // The candidate is exact once no unknown queue could
+                // still hide something earlier.
+                Some(m) if m <= unknown => break m,
+                None if unknown == Cycle::MAX => return false,
+                _ => {
+                    // Probe every unknown queue up to the candidate (or
+                    // a doubling span when nothing bounds the search).
+                    let limit = cand.map_or(unknown.saturating_add(span), |c| c);
+                    span = span.saturating_mul(2);
+                    for s in 0..self.nshards {
+                        let v = self.views[s];
+                        self.race_resolved[s] =
+                            v.head.is_none() && v.len > self.outbox[s].len() && v.parked <= limit;
+                        if self.race_resolved[s] {
+                            self.send(s, HarvestCmd::Probe { limit });
+                        }
+                    }
+                    for s in 0..self.nshards {
+                        if self.race_resolved[s] {
+                            self.absorb_reply(s);
+                        }
+                    }
+                }
+            }
+        };
+        self.window_end = m + self.lookahead;
+        // Hand out the harvests: any shard with an outbox transfer or a
+        // (possible) event below the window end participates; a shard
+        // whose queue provably starts at or past the end is left alone.
+        // Involvement is latched before sending — taking an outbox
+        // changes the predicate, not the owed reply.
+        for s in 0..self.nshards {
+            self.race_resolved[s] = !self.outbox[s].is_empty()
+                || match self.views[s].head {
+                    Some(h) => h < self.window_end,
+                    None => {
+                        self.views[s].len > self.outbox[s].len()
+                            && self.views[s].parked < self.window_end
+                    }
+                };
+            if self.race_resolved[s] {
+                let inbox = std::mem::take(&mut self.outbox[s]);
+                self.outbox_min[s] = Cycle::MAX;
+                self.send(
+                    s,
+                    HarvestCmd::Harvest {
+                        inbox,
+                        end: self.window_end,
+                        probe: self.window_end + PROBE_SPAN,
+                    },
+                );
+            }
+        }
+        for s in 0..self.nshards {
+            if self.race_resolved[s] {
+                self.absorb_reply(s);
+            }
+        }
+        self.stats.harvested += self.run.len() as u64;
+        self.run.sort_unstable_by_key(|e| Reverse((e.at, e.seq)));
+        true
+    }
+
+    /// Posts a command on shard `s`'s harvest channel.
+    fn send(&self, s: usize, cmd: HarvestCmd) {
+        let shared = &self.crew[s];
+        let mut st = lock_crew(shared);
+        debug_assert!(st.cmd.is_none() && st.reply.is_none(), "one command in flight per shard");
+        st.cmd = Some(cmd);
+        drop(st);
+        shared.cmd_ready.notify_one();
+    }
+
+    /// Blocks for shard `s`'s reply and folds it into the plane:
+    /// harvested events join `run`, the view learns the new head /
+    /// cursor / length, and outbox events stranded behind the advanced
+    /// cursor fall back to the pending heap.
+    fn absorb_reply(&mut self, s: usize) {
+        let shared = self.crew[s].clone();
+        let mut st = lock_crew(&shared);
+        let reply = loop {
+            if let Some(msg) = &st.poisoned {
+                panic!("harvest worker for shard {s} poisoned its channel: {msg}");
+            }
+            match st.reply.take() {
+                Some(r) => break r,
+                None => {
+                    st = shared
+                        .reply_ready
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            }
+        };
+        drop(st);
+        self.run.extend(reply.run);
+        self.views[s] = ShardView { head: reply.head, parked: reply.parked, len: reply.remaining };
+        // The probe may have parked the cursor past events still waiting
+        // in the outbox; those can no longer enter the queue in order
+        // and fall back to the pending heap, which orders explicitly.
+        if self.outbox_min[s] < reply.parked {
+            let mut min = Cycle::MAX;
+            for (at, se) in std::mem::take(&mut self.outbox[s]) {
+                if at < reply.parked {
+                    self.stats.pending += 1;
+                    self.pending.push(Reverse(Stamped { at, seq: se.seq, ev: se.ev }));
+                } else {
+                    min = min.min(at);
+                    self.outbox[s].push((at, se));
+                }
+            }
+            self.outbox_min[s] = min;
+        }
+        self.views[s].len += self.outbox[s].len();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Harvest crew (concurrent commit)
+// ---------------------------------------------------------------------------
+
+/// One barrier command for a harvest worker.
+enum HarvestCmd {
+    /// Transfer `inbox` into the queue, drain every event below `end`
+    /// and report the next head up to `probe`.
+    Harvest { inbox: Vec<(Cycle, SeqEv)>, end: Cycle, probe: Cycle },
+    /// Only report the head: peek up to `limit`.
+    Probe { limit: Cycle },
+}
+
+/// A worker's answer to a [`HarvestCmd`].
+struct HarvestReply {
+    /// The drained window batch (empty for probes).
+    run: Vec<Stamped>,
+    /// Earliest queued cycle, if found within the peek bound.
+    head: Option<Cycle>,
+    /// The queue's cursor after the command: pushes below it are no
+    /// longer accepted in order.
+    parked: Cycle,
+    /// Events still queued.
+    remaining: usize,
+}
+
+/// Channel between the coordinator and one shard's harvest worker: a
+/// single-command mailbox with a reply slot.
+pub(crate) struct HarvestShared {
+    state: Mutex<CrewState>,
+    /// Worker parks here waiting for a command.
+    cmd_ready: Condvar,
+    /// Coordinator parks here waiting for the reply.
+    reply_ready: Condvar,
+}
+
+struct CrewState {
+    cmd: Option<HarvestCmd>,
+    reply: Option<HarvestReply>,
+    /// The worker panicked; carries its panic message.
+    poisoned: Option<String>,
+    /// The coordinator is finished (or unwinding): the worker must exit.
+    shutdown: bool,
+}
+
+impl HarvestShared {
+    fn new() -> Self {
+        HarvestShared {
+            state: Mutex::new(CrewState {
+                cmd: None,
+                reply: None,
+                poisoned: None,
+                shutdown: false,
+            }),
+            cmd_ready: Condvar::new(),
+            reply_ready: Condvar::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for HarvestShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("HarvestShared")
+    }
+}
+
+/// Locks a crew mutex, recovering from poisoning: the `poisoned` /
+/// `shutdown` flags carry the failure semantics, so a lock poisoned by
+/// a panicking peer must not cascade.
+fn lock_crew(shared: &HarvestShared) -> MutexGuard<'_, CrewState> {
+    shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Unwind guard the coordinator holds for each harvest worker: dropping
+/// it — normally or during a panic — tells the worker to exit and wakes
+/// it, so the thread scope always joins.
+pub(crate) struct CrewShutdownGuard {
+    shared: Arc<HarvestShared>,
+}
+
+impl CrewShutdownGuard {
+    pub fn new(shared: Arc<HarvestShared>) -> Self {
+        CrewShutdownGuard { shared }
+    }
+}
+
+impl Drop for CrewShutdownGuard {
+    fn drop(&mut self) {
+        let mut st = lock_crew(&self.shared);
+        st.shutdown = true;
+        drop(st);
+        self.shared.cmd_ready.notify_all();
+        self.shared.reply_ready.notify_all();
+    }
+}
+
+/// Body of one shard's harvest worker: owns the shard's calendar queue
+/// and serves barrier commands until shut down. Never panics out (a
+/// scoped-thread panic would re-raise at scope exit and double-panic an
+/// already-unwinding coordinator): queue panics poison the channel.
+pub(crate) fn run_harvest_worker(shared: &HarvestShared, queue: CalendarQueue<SeqEv>) {
+    let mut queue = queue;
+    let result = catch_unwind(AssertUnwindSafe(|| harvest_loop(shared, &mut queue)));
+    if let Err(payload) = result {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        let mut st = lock_crew(shared);
+        st.poisoned = Some(msg);
+        drop(st);
+        shared.reply_ready.notify_all();
+    }
+}
+
+fn harvest_loop(shared: &HarvestShared, queue: &mut CalendarQueue<SeqEv>) {
+    loop {
+        let cmd = {
+            let mut st = lock_crew(shared);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(cmd) = st.cmd.take() {
+                    break cmd;
+                }
+                st = shared.cmd_ready.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // The drain and peek run outside the lock — this is the
+        // parallel work of a barrier.
+        let reply = match cmd {
+            HarvestCmd::Harvest { inbox, end, probe } => {
+                for (at, se) in inbox {
+                    queue.push(at, se);
+                }
+                let mut run = Vec::new();
+                while let Some((at, se)) = queue.pop_until(end - 1) {
+                    run.push(Stamped { at, seq: se.seq, ev: se.ev });
+                }
+                let head = queue.peek_until(probe).map(|(c, _)| c);
+                HarvestReply { run, head, parked: queue.now(), remaining: queue.len() }
+            }
+            HarvestCmd::Probe { limit } => {
+                let head = queue.peek_until(limit).map(|(c, _)| c);
+                HarvestReply { run: Vec::new(), head, parked: queue.now(), remaining: queue.len() }
+            }
+        };
+        let mut st = lock_crew(shared);
+        st.reply = Some(reply);
+        drop(st);
+        shared.reply_ready.notify_all();
     }
 }
 
@@ -603,30 +1117,32 @@ mod tests {
         }
     }
 
-    /// The plane replays global (cycle, push-order): a scripted exchange
-    /// that exercises local queues, FIFO crossings, the window barrier
-    /// and the sub-window direct path pops in exactly serial order.
-    #[test]
-    fn plane_replays_serial_order_across_shards() {
-        let mut plane = ShardPlane::new(4, 2, 2); // tiles {0,1} | {2,3}
+    /// The script from the replay test: each pop reacts with pushes,
+    /// exercising window harvests, in-window (pending) merges, a
+    /// same-cycle cross-shard push (the old sync-valve case) and a
+    /// far-future local event.
+    fn replay_script() -> Vec<(Cycle, Vec<(Cycle, usize)>)> {
+        vec![
+            (0, vec![(2, 3)]), // tile 0 at 0 → tile 3 at the window edge
+            (0, vec![(1, 1)]), // tile 1 at 0 → in-window at 1
+            (0, vec![(0, 2)]), // tile 2 at 0 → in-window, same cycle
+            (0, vec![]),       // tile 3 at 0
+            (0, vec![(5, 0)]), // tile 2 again at 0 → tile 0 beyond the window
+            (1, vec![(1, 2)]), // tile 1 at 1 → cross-shard at the SAME cycle
+            (1, vec![]),       // the same-cycle delivery at tile 2
+            (2, vec![]),       // the window-edge event at tile 3
+            (5, vec![]),       // tile 0's future local event
+        ]
+    }
+
+    fn drive_replay_script(plane: &mut ShardPlane) {
         let mut serial: CalendarQueue<Event> = CalendarQueue::new();
         // Setup: one CoreStep per tile at 0 (as with_options does).
         for c in 0..4 {
             plane.push(0, core_step(c));
             serial.push(0, core_step(c));
         }
-        // Drive both, mirroring each pop with pushes derived from it.
-        let mut script: Vec<(Cycle, Vec<(Cycle, usize)>)> = vec![
-            (0, vec![(2, 3)]), // tile 0 at 0 → cross to tile 3 at +lookahead
-            (0, vec![(1, 1)]), // tile 1 at 0 → local at 1
-            (0, vec![(0, 2)]), // tile 2 at 0 → local, same cycle
-            (0, vec![]),       // tile 3 at 0
-            (0, vec![(5, 0)]), // tile 2 again at 0 → crosses back to tile 0
-            (1, vec![(1, 2)]), // tile 1 at 1 → cross at SAME cycle (sync valve)
-            (1, vec![]),       // the direct delivery at tile 2
-            (2, vec![]),       // the FIFO crossing arrives at tile 3
-            (5, vec![]),       // tile 0's future local event
-        ];
+        let mut script = replay_script();
         script.reverse();
         loop {
             let (a, b) = (plane.pop(), serial.pop());
@@ -645,9 +1161,68 @@ mod tests {
                 (a, b) => panic!("planes diverged: sharded={a:?} serial={b:?}"),
             }
         }
-        assert!(plane.stats.crossings >= 1, "the script crossed shards via FIFO");
-        assert!(plane.stats.direct >= 1, "the script used the sub-window valve");
-        assert!(plane.stats.windows >= 1, "FIFO crossings force a barrier");
+    }
+
+    /// The plane replays global (cycle, push-order): a scripted exchange
+    /// that exercises the window race, batch harvest, and the in-window
+    /// pending merge pops in exactly serial order.
+    #[test]
+    fn plane_replays_serial_order_across_shards() {
+        let mut plane = ShardPlane::new(4, 2, 2, false); // tiles {0,1} | {2,3}
+        drive_replay_script(&mut plane);
+        assert!(plane.stats.windows >= 2, "the script spans several windows");
+        assert!(plane.stats.harvested >= 4, "the setup events harvest in a batch");
+        assert!(plane.stats.pending >= 1, "the same-cycle crossing merges in-window");
+    }
+
+    /// The same script through the concurrent-commit path: the shard
+    /// queues live on harvest worker threads and every barrier is a
+    /// command/reply exchange, yet the pop order is byte-identical.
+    #[test]
+    fn concurrent_crew_replays_the_same_order() {
+        let mut plane = ShardPlane::new(4, 2, 2, true);
+        assert!(plane.wants_crew());
+        std::thread::scope(|scope| {
+            let mut guards = Vec::new();
+            for (shared, queue) in plane.detach_workers() {
+                guards.push(CrewShutdownGuard::new(shared.clone()));
+                scope.spawn(move || run_harvest_worker(&shared, queue));
+            }
+            drive_replay_script(&mut plane);
+            drop(guards);
+        });
+        assert!(plane.stats.windows >= 2);
+        assert!(plane.stats.pending >= 1);
+    }
+
+    /// A panicking harvest worker poisons its channel instead of
+    /// hanging the coordinator; the next barrier names the shard.
+    #[test]
+    fn poisoned_harvest_channel_raises_at_the_coordinator() {
+        let shared = Arc::new(HarvestShared::new());
+        std::thread::scope(|scope| {
+            let guard = CrewShutdownGuard::new(shared.clone());
+            let worker = shared.clone();
+            scope.spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| panic!("queue exploded")));
+                if result.is_err() {
+                    let mut st = lock_crew(&worker);
+                    st.poisoned = Some("queue exploded".into());
+                    drop(st);
+                    worker.reply_ready.notify_all();
+                }
+            });
+            let mut plane = ShardPlane::new(2, 2, 1, true);
+            let detached = plane.detach_workers();
+            drop(detached); // queues never reach a live worker
+            plane.crew[0] = shared.clone();
+            let caught = catch_unwind(AssertUnwindSafe(|| plane.absorb_reply(0)))
+                .expect_err("poisoned channel must raise");
+            let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("shard 0"), "names the shard: {msg}");
+            assert!(msg.contains("queue exploded"), "carries the cause: {msg}");
+            drop(guard);
+        });
     }
 
     /// A feed worker decodes its sources to the end; the consumer sees
@@ -729,6 +1304,60 @@ mod tests {
             drop(guard); // coordinator "unwinds" with the trace unfinished
         });
         // Reaching here is the assertion: the scope joined.
+    }
+
+    /// Dev microbench (`cargo test --release -p lacc-sim shard_plane_micro
+    /// -- --ignored --nocapture`): ns/event through the inline plane at 1
+    /// vs 2 shards against the raw calendar queue. Not a correctness
+    /// test — it prints timings for tuning the serve loop.
+    #[test]
+    #[ignore = "dev microbench, run with --ignored --nocapture"]
+    fn shard_plane_micro() {
+        const N: usize = 1_000_000;
+        let deltas = [1u64, 2, 2, 7, 1, 9, 2, 100];
+        let ev = |t: usize| Event::HomeLookup { tile: t % 16, line: LineAddr::new(0) };
+        let t0 = std::time::Instant::now();
+        let mut q: CalendarQueue<Event> = CalendarQueue::new();
+        let mut now = 0;
+        for i in 0..N {
+            q.push(now + deltas[i % deltas.len()], ev(i));
+            if i % 2 == 0 {
+                let (at, _) = q.pop().expect("queued");
+                now = at;
+            }
+        }
+        while q.pop().is_some() {}
+        let serial = t0.elapsed();
+        // Three interleaving patterns: all events on one shard (runs
+        // never end), blocks of 8 (medium runs), and per-event
+        // alternation (every pop re-scans) — the scan-rate sensitivity
+        // curve of the two serve gears.
+        type TileOf = fn(usize) -> usize;
+        let patterns: [(&str, TileOf); 3] =
+            [("fixed", |_| 0), ("blocky", |i| (i / 8) % 16), ("alternating", |i| i % 16)];
+        for shards in [1usize, 2, 4] {
+            for (pat, tile_of) in patterns {
+                let t1 = std::time::Instant::now();
+                let mut p = ShardPlane::new(16, shards, 2, false);
+                let mut now = 0;
+                for i in 0..N {
+                    p.push(now + deltas[i % deltas.len()], ev(tile_of(i)));
+                    if i % 2 == 0 {
+                        let (at, _) = p.pop().expect("queued");
+                        now = at;
+                    }
+                }
+                while p.pop().is_some() {}
+                println!(
+                    "raw queue {:>6.1} ns/ev  plane({shards}) {pat:<11} {:>6.1} ns/ev  \
+                     pending {}  scans {}",
+                    serial.as_nanos() as f64 / N as f64,
+                    t1.elapsed().as_nanos() as f64 / N as f64,
+                    p.stats.pending,
+                    p.stats.scans,
+                );
+            }
+        }
     }
 
     #[test]

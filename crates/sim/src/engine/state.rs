@@ -82,7 +82,10 @@ impl TraceSource for BatchedSource {
 /// hand the sources to per-shard prefetch workers and give each core a
 /// blocking [`FeedHandle`] into its shard's feed (`Ring`) — the op
 /// *sequence* is identical either way, which is part of the
-/// byte-exactness argument in DESIGN.md §7.
+/// byte-exactness argument in DESIGN.md §7. The prefetch workers are
+/// independent of the commit mode: an inline window-commit run can still
+/// prefetch, and a concurrent-commit run adds harvest crews *beside*
+/// these feed workers in the same thread scope.
 pub(crate) enum TraceFeed {
     /// Trace exhausted (or the core never had one).
     Done,

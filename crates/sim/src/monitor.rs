@@ -62,6 +62,12 @@ pub struct ViolationRecord {
     pub word: usize,
     /// The cycle at which the violation was observed.
     pub cycle: Cycle,
+    /// The global commit sequence number of the event that exposed the
+    /// violation. Within one cycle many events commit; `(cycle, seq)`
+    /// totally orders violations, so "first violation" is deterministic
+    /// even when the windowed shard plane commits a cycle's events in
+    /// batches.
+    pub seq: u64,
     /// The value observed.
     pub got: u64,
     /// The value the shadow expected.
@@ -72,8 +78,8 @@ impl std::fmt::Display for ViolationRecord {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "coherence violation ({}): {} at {} word {} cycle {}: got {:#x}, expected {:#x}",
-            self.kind, self.core, self.line, self.word, self.cycle, self.got, self.expected
+            "coherence violation ({}): {} at {} word {} cycle {} event {}: got {:#x}, expected {:#x}",
+            self.kind, self.core, self.line, self.word, self.cycle, self.seq, self.got, self.expected
         )
     }
 }
@@ -107,6 +113,7 @@ pub struct CoherenceMonitor {
     enabled: bool,
     panic_on_violation: bool,
     word_skew: usize,
+    event_seq: u64,
     report: MonitorReport,
 }
 
@@ -122,8 +129,17 @@ impl CoherenceMonitor {
             enabled,
             panic_on_violation,
             word_skew: 0,
+            event_seq: 0,
             report: MonitorReport::default(),
         }
+    }
+
+    /// Tells the monitor which event is committing: the simulator calls
+    /// this once per dispatched event with its global commit index, and
+    /// every violation recorded until the next call is stamped with it
+    /// (see [`ViolationRecord::seq`]).
+    pub fn set_event_seq(&mut self, seq: u64) {
+        self.event_seq = seq;
     }
 
     /// Seeded bug (mutation testing): shadow writes land `skew` words away
@@ -134,7 +150,8 @@ impl CoherenceMonitor {
         self.word_skew = skew;
     }
 
-    fn record(&mut self, rec: ViolationRecord) {
+    fn record(&mut self, mut rec: ViolationRecord) {
+        rec.seq = self.event_seq;
         self.report.violations += 1;
         if self.report.first_violation.is_none() {
             self.report.first_violation = Some(rec);
@@ -185,6 +202,7 @@ impl CoherenceMonitor {
                 line,
                 word,
                 cycle: now,
+                seq: 0, // stamped by `record`
                 got: value,
                 expected,
             });
@@ -216,6 +234,7 @@ impl CoherenceMonitor {
                 line,
                 word,
                 cycle: now,
+                seq: 0, // stamped by `record`
                 got: value,
                 expected,
             });
@@ -239,6 +258,7 @@ impl CoherenceMonitor {
             line,
             word: 0,
             cycle: now,
+            seq: 0, // stamped by `record`
             got: 0,
             expected: 0,
         });
@@ -308,7 +328,9 @@ mod tests {
     fn non_panicking_mode_records_the_first_violation() {
         let mut m = CoherenceMonitor::new(true, false);
         m.on_write(CoreId::new(0), l(1), 0, 7, 10);
+        m.set_event_seq(41);
         m.on_read(CoreId::new(3), l(1), 0, 8, 20);
+        m.set_event_seq(42);
         m.on_read(CoreId::new(0), l(1), 0, 9, 30);
         assert_eq!(m.report().violations, 2);
         let first = m.report().first_violation.expect("violation recorded");
@@ -317,8 +339,10 @@ mod tests {
         assert_eq!(first.line, l(1));
         assert_eq!(first.word, 0);
         assert_eq!(first.cycle, 20);
+        assert_eq!(first.seq, 41, "first violation keeps its own commit stamp");
         assert_eq!((first.got, first.expected), (8, 7));
         assert!(first.to_string().contains("expected 0x7"), "{first}");
+        assert!(first.to_string().contains("event 41"), "{first}");
         assert!(!m.clean());
     }
 

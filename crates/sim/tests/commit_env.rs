@@ -1,0 +1,69 @@
+//! The `LACC_SHARD_COMMIT` override: resolution happens once, at
+//! simulator construction, and an unrecognized value fails fast there —
+//! never a silent fall-through to a mode the user did not ask for.
+//!
+//! This lives in its own test binary (one `#[test]`, sequential steps)
+//! because the variable is process-global: toggling it beside the other
+//! sharded-engine tests would race their `with_options` calls.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use lacc_model::{Addr, SystemConfig};
+use lacc_sim::trace::{default_instr_base, TraceOp, TraceSource, VecTrace, Workload};
+use lacc_sim::{SimOptions, Simulator};
+
+fn workload(name: &str) -> Workload {
+    let traces: Vec<Box<dyn TraceSource>> = (0..4)
+        .map(|c| {
+            Box::new(VecTrace::new(vec![
+                TraceOp::Store { addr: Addr::new(0x4000), value: c + 1 },
+                TraceOp::Load { addr: Addr::new(0x4000 + 64 * c) },
+                TraceOp::Barrier { id: 0 },
+                TraceOp::Compute(10),
+            ])) as Box<dyn TraceSource>
+        })
+        .collect();
+    Workload {
+        name: name.into(),
+        traces,
+        regions: vec![],
+        instr_lines: 0,
+        instr_base: default_instr_base(),
+    }
+}
+
+fn run(name: &str, concurrent_commit: bool) -> String {
+    let opts = SimOptions { shards: 2, concurrent_commit, ..SimOptions::default() };
+    let sim = Simulator::with_options(SystemConfig::small_for_tests(4), workload(name), opts)
+        .expect("valid config");
+    format!("{:?}", sim.run())
+}
+
+#[test]
+fn commit_mode_env_override_resolves_or_fails_fast() {
+    // Baseline, no override: both option settings produce the serial bytes.
+    std::env::remove_var("LACC_SHARD_COMMIT");
+    let oracle = run("env-commit", false);
+    assert_eq!(run("env-commit", true), oracle, "concurrent commit is byte-exact");
+
+    // Explicit overrides win over the option, in both directions.
+    std::env::set_var("LACC_SHARD_COMMIT", "concurrent");
+    assert_eq!(run("env-commit", false), oracle, "env forces crews on");
+    std::env::set_var("LACC_SHARD_COMMIT", "inline");
+    assert_eq!(run("env-commit", true), oracle, "env forces crews off");
+
+    // A typo is a construction-time panic naming the variable's contract,
+    // not a silently chosen mode.
+    std::env::set_var("LACC_SHARD_COMMIT", "paralel");
+    let payload = catch_unwind(AssertUnwindSafe(|| run("env-commit", false)))
+        .expect_err("unknown commit mode must fail fast");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "non-string panic payload".into());
+    assert!(
+        msg.contains("LACC_SHARD_COMMIT") && msg.contains("paralel"),
+        "diagnostic names the variable and the bad value: {msg}"
+    );
+    std::env::remove_var("LACC_SHARD_COMMIT");
+}

@@ -134,6 +134,55 @@ fn shadow_oracle_accepts_a_contended_sharded_run() {
     Simulator::with_options(SystemConfig::small_for_tests(4), w, opts).unwrap().run();
 }
 
+/// The deadlock assert under *concurrent commit*: the coordinator panics
+/// while harvest-crew threads are parked on their command channels. The
+/// crew shutdown guards must wake and retire them so the thread scope
+/// joins and the original diagnostic propagates — the test completing is
+/// the no-hang proof, exactly as for the prefetch workers above.
+#[test]
+fn deadlock_assert_fires_cleanly_under_concurrent_commit() {
+    std::env::set_var("LACC_SHARD_PREFETCH", "1");
+    let traces: Vec<Box<dyn TraceSource>> = vec![
+        Box::new(VecTrace::new(vec![TraceOp::Acquire { id: 1 }, TraceOp::Barrier { id: 0 }])),
+        Box::new(VecTrace::new(vec![TraceOp::Acquire { id: 1 }])),
+        Box::new(VecTrace::new(vec![TraceOp::Compute(5)])),
+        Box::new(VecTrace::new(vec![TraceOp::Compute(5)])),
+    ];
+    let w = workload_from("deadlock-crew", traces);
+    let opts = SimOptions { shards: 2, concurrent_commit: true, ..SimOptions::default() };
+    let sim = Simulator::with_options(SystemConfig::small_for_tests(4), w, opts).unwrap();
+    let payload =
+        catch_unwind(AssertUnwindSafe(|| sim.run())).expect_err("a deadlocked workload must panic");
+    let msg = panic_message(&*payload);
+    assert!(msg.contains("deadlock"), "diagnostic survives the crew shutdown: {msg}");
+}
+
+/// The shadow oracle works identically under concurrent commit: pushes
+/// and commits both happen coordinator-side, so the reference heap sees
+/// the same stream whichever threads harvested the calendars. A
+/// contended cross-shard workload with real crew threads must commit in
+/// exact global `(cycle, seq)` order and drain the shadow completely
+/// (the plane asserts emptiness — a lost event fails fast here).
+#[test]
+fn shadow_oracle_accepts_a_concurrent_commit_run() {
+    std::env::set_var("LACC_SHARD_SHADOW", "1");
+    let traces: Vec<Box<dyn TraceSource>> = (0..4u64)
+        .map(|c| {
+            let mut ops = vec![TraceOp::Barrier { id: 0 }];
+            for r in 0..200 {
+                ops.push(TraceOp::Store { addr: Addr::new(0x4000), value: c * 200 + r + 1 });
+                ops.push(TraceOp::Load { addr: Addr::new(0x8000 + c * 64) });
+                ops.push(TraceOp::Compute((c % 3) as u32 + 1));
+            }
+            ops.push(TraceOp::Barrier { id: 1 });
+            Box::new(VecTrace::new(ops)) as Box<dyn TraceSource>
+        })
+        .collect();
+    let w = workload_from("shadowed-crew", traces);
+    let opts = SimOptions { shards: 2, concurrent_commit: true, ..SimOptions::default() };
+    Simulator::with_options(SystemConfig::small_for_tests(4), w, opts).unwrap().run();
+}
+
 /// `--shards 0` and `--shards > tiles` are forgiving: 0 means serial and
 /// oversized shard counts clamp to the tile count, both reproducing the
 /// serial report byte-for-byte.

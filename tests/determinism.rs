@@ -53,19 +53,27 @@ fn sharded_runs_reproduce_the_serial_oracle_for_every_suite_workload() {
     // The sharded engine's whole contract (DESIGN.md §7): any `--shards N`
     // must reproduce the serial engine's report byte-for-byte — including
     // the order-sensitive slab ledger, which the full Debug fingerprint
-    // covers. Every Table-2 workload, shards ∈ {2, 4}, vs the serial
-    // oracle at shards = 1.
+    // covers. Every Table-2 workload, shards ∈ {2, 4}, in *both* commit
+    // modes (inline run-serving and concurrent harvest crews), vs the
+    // serial oracle at shards = 1.
     let cores = 4;
     let scale = 0.02;
     for b in Benchmark::ALL {
-        let run = |shards: usize| {
+        let run = |shards: usize, concurrent_commit: bool| {
             let w = b.build(cores, scale);
-            let opts = SimOptions { shards, ..SimOptions::default() };
+            let opts = SimOptions { shards, concurrent_commit, ..SimOptions::default() };
             Simulator::with_options(SystemConfig::small_for_tests(cores), w, opts).unwrap().run()
         };
-        let oracle = format!("{:?}", run(1));
+        let oracle = format!("{:?}", run(1, false));
         for shards in [2, 4] {
-            assert_eq!(format!("{:?}", run(shards)), oracle, "{} shards={shards}", b.name());
+            for concurrent in [false, true] {
+                assert_eq!(
+                    format!("{:?}", run(shards, concurrent)),
+                    oracle,
+                    "{} shards={shards} concurrent={concurrent}",
+                    b.name()
+                );
+            }
         }
     }
 }

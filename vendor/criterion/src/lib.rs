@@ -192,6 +192,28 @@ impl Bencher {
     }
 }
 
+/// `true` when the process is a real `cargo bench` invocation (the
+/// `--bench` flag is present). Custom measurement code — e.g. interleaved
+/// A/B series that criterion's per-function timing cannot express — uses
+/// this to skip measurement entirely under `cargo test` smoke runs.
+#[must_use]
+pub fn is_measuring() -> bool {
+    detect_mode() == Mode::Bench
+}
+
+/// Records a derived scalar metric (a ratio, a percentage — not a
+/// timing) into the bench summary under the current suite. The value
+/// lands in the `median_ns` field of `results/bench_summary.json` like
+/// any measured median; the name should make the unit obvious. No-op
+/// outside `cargo bench`.
+pub fn record_metric(name: &str, value: f64) {
+    if !is_measuring() {
+        return;
+    }
+    println!("{name:<48} metric: {value:.2}");
+    RESULTS.lock().expect("results lock").push((name.to_string(), value));
+}
+
 fn run_one<F>(mode: Mode, samples: usize, throughput: Option<Throughput>, name: &str, mut f: F)
 where
     F: FnMut(&mut Bencher),
